@@ -1,0 +1,57 @@
+"""Ablation: the Sec. III-C area/parallelism trade-off.
+
+Sweeps the Eq. 2 fold factor on FCN_Deconv2 (the layer the paper folds)
+and prints the latency/energy/area frontier, verifying the paper's chosen
+configuration — 128 physical sub-crossbars completing the 64 computation
+modes in two cycles — sits where the text says it does.
+"""
+
+from benchmarks.conftest import emit
+from repro.core.tradeoff import explore_fold_tradeoff
+from repro.utils.formatting import (
+    format_area,
+    format_joules,
+    format_seconds,
+    render_ascii_table,
+)
+from repro.workloads.specs import get_layer
+
+
+def test_fold_tradeoff_fcn2(benchmark):
+    spec = get_layer("FCN_Deconv2").spec
+    points = benchmark(explore_fold_tradeoff, spec, (1, 2, 4, 8, 16))
+    by_fold = {p.fold: p for p in points}
+    # The paper's configuration.
+    assert by_fold[2].num_physical_scs == 128
+    assert by_fold[2].cycles == 2 * 71 * 71
+    # Monotone frontier: latency rises, area falls with fold.
+    latencies = [p.latency for p in points]
+    areas = [p.area for p in points]
+    assert latencies == sorted(latencies)
+    assert areas == sorted(areas, reverse=True)
+    rows = [
+        (
+            p.fold,
+            p.num_physical_scs,
+            p.cycles,
+            format_seconds(p.latency),
+            format_joules(p.energy),
+            format_area(p.area),
+        )
+        for p in points
+    ]
+    emit(
+        render_ascii_table(
+            ("fold", "physical SCs", "cycles", "latency", "energy", "area"),
+            rows,
+            title="Sec. III-C trade-off on FCN_Deconv2 (paper picks fold=2)",
+        )
+    )
+
+
+def test_fold_tradeoff_gan(benchmark):
+    """GAN kernels are small: fold=1 is the latency-optimal choice."""
+    spec = get_layer("GAN_Deconv1").spec
+    points = benchmark(explore_fold_tradeoff, spec, (1, 2, 4))
+    assert points[0].fold == 1
+    assert points[0].latency == min(p.latency for p in points)

@@ -1,0 +1,85 @@
+"""Ablation: technology sensitivity of the calibrated model.
+
+Two sweeps beyond the paper's single 65 nm / mux-8 operating point:
+
+* node scaling (65 -> 45 -> 32 nm): absolute budgets shrink while every
+  relative conclusion (who wins, by how much) is invariant;
+* ADC sharing (mux 4 -> 32): deeper sharing trades read-circuit area for
+  conversion latency, identically for all designs.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.arch.scaling import scale_tech
+from repro.arch.tech import default_tech
+from repro.eval.harness import run_grid
+from repro.utils.formatting import format_joules, format_seconds, render_ascii_table
+
+
+def test_node_scaling(benchmark):
+    grids = benchmark(
+        lambda: {
+            node: run_grid(tech=scale_tech(node_m=node))
+            for node in (65e-9, 45e-9, 32e-9)
+        }
+    )
+    base = grids[65e-9]
+    rows = []
+    for node, grid in grids.items():
+        red = grid.get("GAN_Deconv1", "RED")
+        rows.append(
+            (
+                f"{node * 1e9:.0f} nm",
+                format_seconds(red.latency.total),
+                format_joules(red.energy.total),
+                f"{grid.speedup('GAN_Deconv1', 'RED'):.2f}x",
+                f"{grid.energy_saving('GAN_Deconv1', 'RED') * 100:.1f}%",
+            )
+        )
+        # Relative results are invariant under uniform scaling.
+        assert grid.speedup("GAN_Deconv1", "RED") == pytest.approx(
+            base.speedup("GAN_Deconv1", "RED"), rel=1e-6
+        )
+    latencies = [grids[n].get("GAN_Deconv1", "RED").latency.total for n in grids]
+    assert latencies == sorted(latencies, reverse=True)  # smaller node, faster
+    emit(
+        render_ascii_table(
+            ("node", "RED latency", "RED energy", "speedup", "saving"),
+            rows,
+            title="Node scaling on GAN_Deconv1 (relative results invariant)",
+        )
+    )
+
+
+def test_mux_share_sweep(benchmark):
+    def sweep():
+        return {
+            share: run_grid(tech=default_tech().with_overrides(mux_share=share))
+            for share in (4, 8, 16, 32)
+        }
+
+    grids = benchmark(sweep)
+    rows = []
+    for share, grid in grids.items():
+        red = grid.get("GAN_Deconv1", "RED")
+        rows.append(
+            (
+                share,
+                format_seconds(red.latency.read_circuit),
+                f"{red.area.read_circuit * 1e6:.4f} mm^2",
+                f"{grid.speedup('GAN_Deconv1', 'RED'):.2f}x",
+            )
+        )
+    # Deeper sharing: longer conversion serialization, less ADC area.
+    rc_lat = [grids[s].get("GAN_Deconv1", "RED").latency.read_circuit for s in (4, 8, 16, 32)]
+    rc_area = [grids[s].get("GAN_Deconv1", "RED").area.read_circuit for s in (4, 8, 16, 32)]
+    assert rc_lat == sorted(rc_lat)
+    assert rc_area == sorted(rc_area, reverse=True)
+    emit(
+        render_ascii_table(
+            ("mux share", "RED rc latency", "RED rc area", "speedup vs ZP"),
+            rows,
+            title="ADC-sharing sweep on GAN_Deconv1",
+        )
+    )

@@ -1,0 +1,23 @@
+"""Fig. 4: zero redundancy ratio vs stride.
+
+Regenerates both curves (SNGAN 4x4 input, FCN 16x16 input) and asserts
+the two values the paper quotes: 86.8% at stride 2 and 99.8% at stride 32.
+"""
+
+from benchmarks.conftest import emit
+from repro.eval.figures import fig4_redundancy_curves
+from repro.eval.paper_targets import PAPER_TARGETS
+from repro.eval.report import format_fig4
+
+
+def test_fig4_curves(benchmark):
+    curves = benchmark(fig4_redundancy_curves)
+    sngan = dict(curves["SNGAN input:4x4"])
+    fcn = dict(curves["FCN input:16x16"])
+    assert PAPER_TARGETS["fig4_sngan_stride2"].contains(sngan[2])
+    assert PAPER_TARGETS["fig4_fcn_stride32"].contains(fcn[32])
+    emit(format_fig4())
+    emit(
+        f"paper: 86.8% @ stride 2 -> measured {sngan[2] * 100:.2f}%   |   "
+        f"paper: 99.8% @ stride 32 -> measured {fcn[32] * 100:.2f}%"
+    )

@@ -1,0 +1,35 @@
+"""Figs. 5c and 6: the mechanism figures, regenerated as data.
+
+The mapping/schedule code renders the paper's running example (3x3 kernel,
+stride 2): the four computation modes with tap sets {1,3,7,9}, {4,6},
+{2,8}, {5}, and the per-cycle sub-crossbar input/output assignments of the
+zero-skipping data flow.
+"""
+
+from benchmarks.conftest import emit
+from repro.core.visualize import render_cycle_table, render_modes, render_padded_map
+from repro.deconv.shapes import DeconvSpec
+
+PAPER_EXAMPLE = DeconvSpec(4, 4, 2, 3, 3, 2, stride=2, padding=1)
+
+
+def test_fig6_modes(benchmark):
+    text = benchmark(render_modes, PAPER_EXAMPLE)
+    blocks = text.split("\n\n")
+    assert len(blocks) == 4  # stride^2 modes
+    tap_sets = []
+    for block in blocks:
+        nums = sorted(
+            int(tok) for line in block.splitlines()[1:] for tok in line.split()
+            if tok.isdigit()
+        )
+        tap_sets.append(tuple(nums))
+    assert sorted(tap_sets) == sorted([(5,), (4, 6), (2, 8), (1, 3, 7, 9)])
+    emit("Fig. 6 computation modes (3x3 kernel, stride 2):\n\n" + text)
+
+
+def test_fig5c_schedule(benchmark):
+    text = benchmark(render_cycle_table, PAPER_EXAMPLE, 2)
+    assert "SC9" in text
+    emit(text)
+    emit(render_padded_map(DeconvSpec(4, 4, 1, 4, 4, 1, stride=2, padding=1)))

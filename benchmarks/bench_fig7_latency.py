@@ -1,0 +1,30 @@
+"""Fig. 7: latency comparison (speedup + array/periphery breakdown).
+
+Regenerates both panels for all six Table I layers and asserts the
+paper's headline speedup bands: ~4x on stride-2 layers, ~31x on the
+folded FCN stride-8 layer, with zero-padding 1.55-2.62x slower than
+padding-free on the GAN layers.
+"""
+
+from benchmarks.conftest import emit
+from repro.eval.figures import fig7_latency
+from repro.eval.paper_targets import PAPER_TARGETS
+from repro.eval.report import format_fig7
+
+GAN_LAYERS = ("GAN_Deconv1", "GAN_Deconv2", "GAN_Deconv3", "GAN_Deconv4")
+
+
+def test_fig7_speedups(benchmark, grid):
+    fig = benchmark(fig7_latency, grid)
+    speedups = {layer: row["RED"] for layer, row in fig.speedup.items()}
+    assert PAPER_TARGETS["speedup_min"].contains(min(speedups.values()))
+    assert PAPER_TARGETS["speedup_max"].contains(max(speedups.values()))
+    for layer in GAN_LAYERS:
+        assert PAPER_TARGETS["zp_over_pf_latency_gan"].contains(
+            fig.speedup[layer]["padding-free"]
+        )
+    emit(format_fig7(grid))
+    emit(
+        "paper: RED speedup 3.69x-31.15x -> measured "
+        f"{min(speedups.values()):.2f}x-{max(speedups.values()):.2f}x"
+    )

@@ -1,0 +1,38 @@
+"""Fig. 8: energy comparison (savings + array/periphery breakdown).
+
+Regenerates both panels and asserts the paper's energy claims: RED saves
+on every layer (maximum on FCN stride-8), the padding-free array energy
+is several-fold the other designs' on GAN layers, and RED's array energy
+stays similar to zero-padding's.
+"""
+
+from benchmarks.conftest import emit
+from repro.eval.figures import fig8_energy
+from repro.eval.paper_targets import PAPER_TARGETS
+from repro.eval.report import format_fig8
+
+GAN_LAYERS = ("GAN_Deconv1", "GAN_Deconv2", "GAN_Deconv3", "GAN_Deconv4")
+
+
+def test_fig8_savings(benchmark, grid):
+    fig = benchmark(fig8_energy, grid)
+    savings = {layer: row["RED"] for layer, row in fig.saving.items()}
+    assert PAPER_TARGETS["energy_saving_min"].contains(min(savings.values()))
+    assert PAPER_TARGETS["energy_saving_max"].contains(savings["FCN_Deconv2"])
+    for layer in GAN_LAYERS:
+        assert PAPER_TARGETS["pf_array_energy_gan"].contains(
+            fig.array_ratio[layer]["padding-free"]
+        )
+        assert PAPER_TARGETS["red_array_similar"].contains(
+            fig.array_ratio[layer]["RED"]
+        )
+    worst_pf = max(fig.ratio[layer]["padding-free"] for layer in GAN_LAYERS)
+    assert PAPER_TARGETS["pf_total_energy_gan_max"].contains(worst_pf)
+    emit(format_fig8(grid))
+    emit(
+        "paper: RED saves 8%-88.36% -> measured "
+        f"{min(savings.values()) * 100:.1f}%-{max(savings.values()) * 100:.1f}%  |  "
+        f"paper: PF array 4.48-7.53x -> measured "
+        f"{min(fig.array_ratio[l]['padding-free'] for l in GAN_LAYERS):.2f}x-"
+        f"{max(fig.array_ratio[l]['padding-free'] for l in GAN_LAYERS):.2f}x (GANs)"
+    )

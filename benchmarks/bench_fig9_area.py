@@ -1,0 +1,35 @@
+"""Fig. 9: area comparison (array/periphery breakdown).
+
+Regenerates the two shown layers (GAN_Deconv1, FCN_Deconv2) and asserts:
+identical array area across designs, RED ~+21% total on GAN layers (the
+abstract's 22.14%), and padding-free's periphery blow-up concentrated on
+the FCN layer.
+"""
+
+from benchmarks.conftest import emit
+from repro.eval.figures import fig9_area
+from repro.eval.paper_targets import PAPER_TARGETS
+from repro.eval.report import format_fig9
+
+GAN_LAYERS = ("GAN_Deconv1", "GAN_Deconv2", "GAN_Deconv3", "GAN_Deconv4")
+
+
+def test_fig9_breakdown(benchmark, grid):
+    fig = benchmark(fig9_area, grid)
+    for layer, designs in fig.normalized.items():
+        arrays = {round(n["array"], 12) for n in designs.values()}
+        assert len(arrays) == 1, f"array area differs on {layer}"
+    for layer in GAN_LAYERS:
+        overhead = grid.area_ratio(layer, "RED") - 1.0
+        assert PAPER_TARGETS["red_area_overhead_gan"].contains(overhead), layer
+    assert PAPER_TARGETS["pf_area_overhead_gan1"].contains(
+        grid.area_ratio("GAN_Deconv1", "padding-free") - 1.0
+    )
+    assert PAPER_TARGETS["pf_area_overhead_fcn2"].contains(
+        grid.area_ratio("FCN_Deconv2", "padding-free") - 1.0
+    )
+    emit(format_fig9(grid))
+    emit(
+        "paper: RED +21.41% area -> measured "
+        f"+{(grid.area_ratio('GAN_Deconv1', 'RED') - 1) * 100:.1f}% (GAN_Deconv1)"
+    )

@@ -1,0 +1,51 @@
+"""Throughput of the three functional simulators on a real Table I layer.
+
+Times each design's functional execution of GAN_Deconv3 (the smallest GAN
+layer) and RED's cycle-accurate path on a reduced layer, and cross-checks
+all outputs against the scatter reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.red_design import REDDesign
+from repro.deconv.reference import conv_transpose2d
+from repro.deconv.shapes import DeconvSpec
+from repro.designs.padding_free_design import PaddingFreeDesign
+from repro.designs.zero_padding_design import ZeroPaddingDesign
+from repro.workloads.data import layer_input, layer_kernel
+from repro.workloads.specs import get_layer
+
+
+@pytest.fixture(scope="module")
+def gan3():
+    layer = get_layer("GAN_Deconv3")
+    return layer.spec, layer_input(layer), layer_kernel(layer)
+
+
+def test_bench_zero_padding_functional(benchmark, gan3):
+    spec, x, w = gan3
+    run = benchmark(ZeroPaddingDesign(spec).run_functional, x, w)
+    np.testing.assert_allclose(run.output, conv_transpose2d(x, w, spec), atol=1e-8)
+
+
+def test_bench_padding_free_functional(benchmark, gan3):
+    spec, x, w = gan3
+    run = benchmark(PaddingFreeDesign(spec).run_functional, x, w)
+    np.testing.assert_allclose(run.output, conv_transpose2d(x, w, spec), atol=1e-8)
+
+
+def test_bench_red_functional(benchmark, gan3):
+    spec, x, w = gan3
+    run = benchmark(REDDesign(spec).run_functional, x, w)
+    np.testing.assert_allclose(run.output, conv_transpose2d(x, w, spec), atol=1e-8)
+
+
+def test_bench_red_cycle_accurate_small(benchmark):
+    """Cycle-accurate path on a reduced-channel GAN-shaped layer."""
+    spec = DeconvSpec(4, 4, 32, 4, 4, 16, stride=2, padding=1)
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(spec.input_shape)
+    w = rng.standard_normal(spec.kernel_shape)
+    run = benchmark(REDDesign(spec).run_cycle_accurate, x, w)
+    np.testing.assert_allclose(run.output, conv_transpose2d(x, w, spec), atol=1e-9)

@@ -1,0 +1,28 @@
+"""Sec. III-C prose claim: RED's speedup grows quadratically with stride.
+
+Sweeps the stride under the FCN kernel convention (K = 2s) and fits the
+speedup-vs-stride exponent; the paper's claim corresponds to an exponent
+of ~2 (per-cycle overheads pull it slightly under).
+"""
+
+from benchmarks.conftest import emit
+from repro.eval.sweeps import quadratic_fit_exponent, stride_speedup_sweep
+from repro.utils.formatting import render_ascii_table
+
+
+def test_stride_quadratic_speedup(benchmark):
+    points = benchmark(stride_speedup_sweep, (1, 2, 4, 8))
+    exponent = quadratic_fit_exponent(points)
+    assert 1.7 <= exponent <= 2.05
+    rows = [
+        (p.stride, p.modes, p.cycles_zp, p.cycles_red, f"{p.speedup:.2f}x")
+        for p in points
+    ]
+    emit(
+        render_ascii_table(
+            ("stride", "modes (s^2)", "ZP cycles", "RED cycles", "speedup"),
+            rows,
+            title="Sec. III-C: speedup vs stride (K = 2s)",
+        )
+    )
+    emit(f"fitted exponent: speedup ~ stride^{exponent:.2f} (claim: quadratic)")

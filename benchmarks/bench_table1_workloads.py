@@ -1,0 +1,40 @@
+"""Table I: the benchmark workloads.
+
+Regenerates the benchmark table and times the workload machinery: network
+construction and a full functional pass of a real Table I layer through
+the reference implementation.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.deconv.reference import conv_transpose2d
+from repro.eval.tables import render_table1, render_table2
+from repro.workloads.data import layer_input, layer_kernel
+from repro.workloads.networks import SNGANGenerator
+from repro.workloads.specs import TABLE_I_LAYERS, get_layer
+
+
+def test_table1_render(benchmark):
+    """Render Table I (and assert all six layers appear)."""
+    text = benchmark(render_table1)
+    for layer in TABLE_I_LAYERS:
+        assert layer.name in text
+    emit(text)
+    emit(render_table2())
+
+
+def test_bench_sngan_generator_forward(benchmark):
+    """Time a full SNGAN generator forward pass (the GAN_Deconv3 source)."""
+    gen = SNGANGenerator(base_size=4, rng=np.random.default_rng(0))
+    z = np.random.default_rng(1).standard_normal((1, gen.latent_dim))
+    out = benchmark(gen, z)
+    assert out.shape == (1, 3, 32, 32)
+
+
+def test_bench_gan_deconv3_reference(benchmark):
+    """Time the reference deconvolution of the full GAN_Deconv3 layer."""
+    layer = get_layer("GAN_Deconv3")
+    x, w = layer_input(layer), layer_kernel(layer)
+    out = benchmark(conv_transpose2d, x, w, layer.spec)
+    assert out.shape == layer.spec.output_shape

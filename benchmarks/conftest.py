@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_*`` module regenerates one table or figure of the paper:
+run ``pytest benchmarks/ --benchmark-only -s`` to see the reproduced
+tables alongside the timing results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.harness import run_grid
+
+
+@pytest.fixture(scope="session")
+def grid():
+    """The design x layer evaluation grid, computed once per session."""
+    return run_grid()
+
+
+def emit(text: str) -> None:
+    """Print a reproduced table (visible with ``-s``; harmless otherwise)."""
+    print("\n" + text)

@@ -1,0 +1,47 @@
+"""NeuroSim+-style analytical architecture model (65 nm, 2 GHz).
+
+Estimates latency, energy and area of a deconvolution accelerator design
+from its crossbar geometry and per-cycle activity.  The component taxonomy
+follows the paper's Table II:
+
+* array: computation (c), wordline driving (wd), bitline driving (bd)
+* periphery: multiplexer (mux), decoder (dec), read circuit (rc),
+  shift adder (sa)
+
+plus the padding-free design's extra overlap-adder and crop units.
+Constants live in :class:`repro.arch.tech.TechnologyParams`; they are
+*calibrated* to reproduce the paper's relative results (see DESIGN.md §3).
+"""
+
+from repro.arch.tech import TechnologyParams, default_tech
+from repro.arch.breakdown import (
+    ARRAY_COMPONENTS,
+    PERIPHERY_COMPONENTS,
+    TABLE_II_COMPONENTS,
+    LatencyBreakdown,
+    EnergyBreakdown,
+    AreaBreakdown,
+    DesignMetrics,
+)
+from repro.arch.perf_input import DesignPerfInput, DecoderBank
+from repro.arch.metrics import evaluate_design
+from repro.arch.wires import WireModel
+from repro.arch.subarray import SubarrayTiling, tile_logical_array
+
+__all__ = [
+    "TechnologyParams",
+    "default_tech",
+    "ARRAY_COMPONENTS",
+    "PERIPHERY_COMPONENTS",
+    "TABLE_II_COMPONENTS",
+    "LatencyBreakdown",
+    "EnergyBreakdown",
+    "AreaBreakdown",
+    "DesignMetrics",
+    "DesignPerfInput",
+    "DecoderBank",
+    "evaluate_design",
+    "WireModel",
+    "SubarrayTiling",
+    "tile_logical_array",
+]

@@ -1,0 +1,124 @@
+"""The geometry/activity record a design hands to the evaluator.
+
+Each accelerator design (zero-padding, padding-free, RED) reduces one
+benchmark layer to a :class:`DesignPerfInput`: how many compute rounds it
+needs, what its crossbar rows/columns look like, and how much per-cycle
+work each Table II component performs.  :func:`repro.arch.metrics.
+evaluate_design` turns this into latency/energy/area breakdowns; keeping
+the interface count-based means the designs stay free of circuit math and
+the evaluator stays free of dataflow logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.deconv.shapes import DeconvSpec
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class DecoderBank:
+    """One row-decoder instance: ``rows`` addressed lines, ``count`` copies."""
+
+    rows: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.count < 1:
+            raise ParameterError(
+                f"decoder bank needs rows>=1, count>=1; got {self.rows}, {self.count}"
+            )
+
+
+@dataclass(frozen=True)
+class DesignPerfInput:
+    """Everything the analytical model needs about one (design, layer) run.
+
+    Counts are in *logical weight columns* unless the name says physical;
+    the evaluator expands by ``tech.phys_cols_per_weight`` where relevant.
+
+    Attributes:
+        design: design name ("zero-padding", "padding-free", "RED").
+        layer: benchmark layer name.
+        spec: the layer's shape spec.
+        cycles: compute rounds to finish the layer.
+        wordline_cols: logical columns spanned by one wordline.
+        bitline_rows: physical rows stacked on one bitline (column height).
+        rows_selected_per_cycle: wordline gate selects per cycle, summed
+            over all concurrently active crossbars.
+        decoder_banks: row-decoder instances.
+        conv_values_per_cycle: logical column values read out per cycle
+            (ADC-visible), summed over active crossbars.  May be
+            fractional when the integrate-and-fire circuit accumulates
+            over ``fold`` cycles before converting.
+        live_row_cycles_total: sum over cycles of rows carrying a live
+            (non-zero) input — the rows whose wordline *data* drivers
+            actually pulse.  Zero-input rows are gated (they are still
+            decoded/selected, which ``rows_selected_per_cycle`` covers).
+        useful_macs: live multiply-accumulates for the layer (identical
+            across designs; inserted zeros draw no array current).
+        total_cells_logical: weights stored (= KH*KW*C*M for all designs).
+        broadcast_instances: crossbars sharing each input vector (RED's
+            sub-crossbar fan-out; 1 elsewhere).
+        sa_extra_ops_per_value: digital adds per converted value beyond the
+            standard slice recombination (PF overlap-add, RED fold
+            accumulation / cross-SC merge).
+        crop_values_total: values produced then discarded (PF cropping).
+        col_periphery_sets: independently-sensed column groups (area).
+        col_set_width: logical columns per group (area).
+        row_bank_instances: separate row-periphery banks (area).
+        has_crop_unit: PF's output crop circuitry (area).
+        overlap_adder_cols: logical columns needing overlap-add circuitry.
+    """
+
+    design: str
+    layer: str
+    spec: DeconvSpec
+    cycles: int
+    wordline_cols: int
+    bitline_rows: int
+    rows_selected_per_cycle: int
+    decoder_banks: tuple[DecoderBank, ...]
+    conv_values_per_cycle: float
+    live_row_cycles_total: float
+    useful_macs: int
+    total_cells_logical: int
+    broadcast_instances: int = 1
+    sa_extra_ops_per_value: float = 0.0
+    crop_values_total: int = 0
+    col_periphery_sets: int = 1
+    col_set_width: int = 0
+    row_bank_instances: int = 1
+    has_crop_unit: bool = False
+    overlap_adder_cols: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cycles < 1:
+            raise ParameterError(f"cycles must be >= 1, got {self.cycles}")
+        for name in (
+            "wordline_cols",
+            "bitline_rows",
+            "rows_selected_per_cycle",
+            "useful_macs",
+            "total_cells_logical",
+            "broadcast_instances",
+            "col_periphery_sets",
+            "row_bank_instances",
+        ):
+            if getattr(self, name) < 1:
+                raise ParameterError(f"{name} must be >= 1, got {getattr(self, name)}")
+        # Fractional rates below one are legal: a deeply folded design may
+        # integrate several cycles per conversion.
+        if self.conv_values_per_cycle <= 0:
+            raise ParameterError(
+                f"conv_values_per_cycle must be > 0, got {self.conv_values_per_cycle}"
+            )
+        if self.live_row_cycles_total <= 0:
+            raise ParameterError(
+                f"live_row_cycles_total must be > 0, got {self.live_row_cycles_total}"
+            )
+        if not self.decoder_banks:
+            raise ParameterError("at least one decoder bank is required")
+        if self.sa_extra_ops_per_value < 0 or self.crop_values_total < 0:
+            raise ParameterError("sa_extra_ops_per_value/crop_values_total must be >= 0")

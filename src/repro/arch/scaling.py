@@ -1,0 +1,75 @@
+"""Technology-node scaling of the calibrated 65 nm constants.
+
+The paper evaluates at 65 nm; to ask "what changes at 45/32 nm" we apply
+first-order constant-field scaling to the calibrated constants:
+
+* linear dimension scales by ``s = node / 65nm``;
+* area-like constants scale by ``s^2``;
+* delay-like constants scale by ``s`` (gate delay ~ CV/I);
+* energy-like constants scale by ``s * v^2`` where ``v`` is the supply
+  ratio (capacitance ~ s, energy ~ C V^2).
+
+This is deliberately coarse — the relative design comparison is invariant
+under uniform scaling (verified in the tests); the study exists to show
+absolute budgets across nodes, not to re-rank designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+from repro.arch.tech import TechnologyParams, default_tech
+from repro.errors import ParameterError
+
+#: Nominal supply voltages by node (V).
+NODE_VDD = {65e-9: 1.1, 45e-9: 1.0, 32e-9: 0.9, 22e-9: 0.8}
+
+_TIME_PREFIX = "t_"
+_ENERGY_PREFIX = "e_"
+_AREA_PREFIX = "a_"
+_UNSCALED = {
+    "feature_size_m", "clock_hz", "vdd",
+    "bits_input", "bits_weight", "bits_per_cell", "differential", "mux_share",
+    "cell_area_factor",  # expressed in F^2 — scales through feature size
+}
+
+
+def scale_tech(
+    base: TechnologyParams | None = None,
+    node_m: float = 45e-9,
+    vdd: float | None = None,
+) -> TechnologyParams:
+    """Return the constants re-scaled from the base node to ``node_m``."""
+    base = base or default_tech()
+    if node_m <= 0:
+        raise ParameterError(f"node_m must be positive, got {node_m}")
+    s = node_m / base.feature_size_m
+    if vdd is None:
+        vdd = NODE_VDD.get(node_m, base.vdd * s**0.5)
+    v = vdd / base.vdd
+
+    overrides: dict[str, object] = {
+        "feature_size_m": node_m,
+        "vdd": vdd,
+        "clock_hz": base.clock_hz / s,  # faster gates -> higher clock
+    }
+    for field in fields(base):
+        name = field.name
+        if name in _UNSCALED or name in overrides:
+            continue
+        value = getattr(base, name)
+        if name.startswith(_TIME_PREFIX):
+            overrides[name] = value * s
+        elif name.startswith(_ENERGY_PREFIX):
+            overrides[name] = value * s * v**2
+        elif name.startswith(_AREA_PREFIX):
+            overrides[name] = value * s**2
+    return base.with_overrides(**overrides)
+
+
+def node_sweep(
+    nodes: tuple[float, ...] = (65e-9, 45e-9, 32e-9),
+    base: TechnologyParams | None = None,
+) -> dict[float, TechnologyParams]:
+    """Scaled technology instances for a sweep of nodes."""
+    return {node: scale_tech(base, node) for node in nodes}

@@ -1,0 +1,66 @@
+"""Wire delay/energy model for wordlines and bitlines.
+
+Wordline driving latency grows with line length: a base driver delay, a
+linear repeated-wire term, and a quadratic term for the unrepeated segment
+(Elmore delay of a distributed RC line scales with length squared).  The
+paper leans on exactly this: "the wordline/bitline driving power increases
+in a quadratic relation with the column number", which is what penalizes
+the padding-free design's ``KH*KW*M``-wide arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.tech import TechnologyParams
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class WireModel:
+    """Wordline/bitline delay and energy as functions of line length."""
+
+    tech: TechnologyParams
+
+    # ------------------------------------------------------------------
+    # Latency
+    # ------------------------------------------------------------------
+    def wordline_delay(self, phys_cols: int) -> float:
+        """Seconds to drive one wordline spanning ``phys_cols`` cells."""
+        check_positive_int(phys_cols, "phys_cols")
+        t = self.tech
+        return (
+            t.t_wd_base
+            + t.t_wd_per_col * phys_cols
+            + t.t_wd_quad * phys_cols**2
+        )
+
+    def bitline_delay(self, phys_rows: int) -> float:
+        """Seconds for a bitline of ``phys_rows`` cells to settle."""
+        check_positive_int(phys_rows, "phys_rows")
+        t = self.tech
+        return t.t_bd_base + t.t_bd_per_row * phys_rows
+
+    # ------------------------------------------------------------------
+    # Energy
+    # ------------------------------------------------------------------
+    def wordline_energy_per_row(self, phys_cols: int) -> float:
+        """Joules to select + drive one row across ``phys_cols`` cells.
+
+        Includes the fixed row-select cost (1T1R gate switching, input
+        register/DAC) plus linear wire charge and the quadratic driver
+        term that dominates for very wide arrays.
+        """
+        check_positive_int(phys_cols, "phys_cols")
+        t = self.tech
+        return (
+            t.e_wl_fixed
+            + t.e_wl_per_col * phys_cols
+            + t.e_wl_quad * phys_cols**2
+        )
+
+    def bitline_energy(self, num_cells: int) -> float:
+        """Joules to precharge bitlines covering ``num_cells`` cells."""
+        if num_cells < 0:
+            raise ValueError(f"num_cells must be >= 0, got {num_cells}")
+        return self.tech.e_bd_per_cell * num_cells

@@ -1,0 +1,155 @@
+"""Command-line interface: regenerate the paper's artefacts from a shell.
+
+Usage::
+
+    python -m repro report            # everything (Tables I-II, Figs. 4-9)
+    python -m repro table1            # benchmark table
+    python -m repro table2            # component taxonomy
+    python -m repro fig4              # redundancy curves
+    python -m repro fig7              # latency comparison
+    python -m repro fig8              # energy comparison
+    python -m repro fig9              # area comparison
+    python -m repro tradeoff          # Sec. III-C fold sweep (FCN_Deconv2)
+    python -m repro network SNGAN     # whole-generator evaluation
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.eval.harness import run_grid
+from repro.eval.report import (
+    format_fig4,
+    format_fig7,
+    format_fig8,
+    format_fig9,
+    full_report,
+)
+from repro.eval.tables import render_table1, render_table2
+
+
+def _cmd_tradeoff() -> str:
+    from repro.core.tradeoff import explore_fold_tradeoff
+    from repro.utils.formatting import (
+        format_area,
+        format_joules,
+        format_seconds,
+        render_ascii_table,
+    )
+    from repro.workloads.specs import get_layer
+
+    spec = get_layer("FCN_Deconv2").spec
+    rows = [
+        (
+            p.fold,
+            p.num_physical_scs,
+            p.cycles,
+            format_seconds(p.latency),
+            format_joules(p.energy),
+            format_area(p.area),
+        )
+        for p in explore_fold_tradeoff(spec, folds=(1, 2, 4, 8, 16))
+    ]
+    return render_ascii_table(
+        ("fold", "physical SCs", "cycles", "latency", "energy", "area"),
+        rows,
+        title="Sec. III-C fold trade-off on FCN_Deconv2",
+    )
+
+
+def _cmd_network(name: str) -> str:
+    import numpy as np
+
+    from repro.system import evaluate_network, pipeline_network, provision_chip
+    from repro.utils.formatting import (
+        format_joules,
+        format_seconds,
+        render_ascii_table,
+    )
+    from repro.workloads.networks import build_network
+
+    network = build_network(name, rng=np.random.default_rng(0))
+    evaluation = evaluate_network(network, 1, 1)
+    rows = []
+    for design in ("zero-padding", "padding-free", "RED"):
+        report = pipeline_network(evaluation, design, batch=16)
+        chip = provision_chip(evaluation, design)
+        rows.append(
+            (
+                design,
+                format_seconds(evaluation.total_latency(design)),
+                f"{evaluation.speedup(design):.2f}x",
+                f"{evaluation.energy_saving(design) * 100:.1f}%",
+                format_seconds(report.bottleneck_latency),
+                f"{chip.total_area * 1e6:.4g} mm^2",
+            )
+        )
+    return render_ascii_table(
+        ("design", "latency", "speedup", "energy saving", "pipeline II", "chip area"),
+        rows,
+        title=f"{name}: whole-network deconvolution evaluation",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RED (DATE 2019) reproduction: regenerate paper artefacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in (
+        "report", "table1", "table2", "fig4", "fig7", "fig8", "fig9",
+        "tradeoff", "compare", "mechanism",
+    ):
+        sub.add_parser(name)
+    network = sub.add_parser("network")
+    network.add_argument(
+        "name",
+        nargs="?",
+        default="SNGAN",
+        help="workload network (DCGAN, 'Improved GAN', SNGAN, 'voc-fcn8s 8x')",
+    )
+    args = parser.parse_args(argv)
+
+    if args.command == "report":
+        print(full_report())
+    elif args.command == "table1":
+        print(render_table1())
+    elif args.command == "table2":
+        print(render_table2())
+    elif args.command == "fig4":
+        print(format_fig4())
+    elif args.command in ("fig7", "fig8", "fig9"):
+        grid = run_grid()
+        formatter = {"fig7": format_fig7, "fig8": format_fig8, "fig9": format_fig9}
+        print(formatter[args.command](grid))
+    elif args.command == "tradeoff":
+        print(_cmd_tradeoff())
+    elif args.command == "compare":
+        from repro.eval.comparison import render_comparison
+
+        print(render_comparison())
+    elif args.command == "mechanism":
+        from repro.core.visualize import (
+            render_cycle_table,
+            render_modes,
+            render_padded_map,
+        )
+        from repro.deconv.shapes import DeconvSpec
+
+        example = DeconvSpec(4, 4, 2, 3, 3, 2, stride=2, padding=1)
+        print("Fig. 6 computation modes (3x3 kernel, stride 2):\n")
+        print(render_modes(example))
+        print()
+        print(render_padded_map(DeconvSpec(4, 4, 1, 4, 4, 1, stride=2, padding=1)))
+        print()
+        print(render_cycle_table(example, num_cycles=2))
+    elif args.command == "network":
+        print(_cmd_network(args.name))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

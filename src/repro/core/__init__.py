@@ -1,0 +1,35 @@
+"""RED: the paper's contribution.
+
+* :mod:`repro.core.mapping` — pixel-wise mapping (Eq. 1): kernel ->
+  sub-crossbar tensor (SCT).
+* :mod:`repro.core.dataflow` — zero-skipping data flow (Fig. 5c): the
+  per-cycle schedule feeding only non-zero pixels.
+* :mod:`repro.core.fold` — the area-efficient fold (Eq. 2, Sec. III-C).
+* :mod:`repro.core.red_design` — the full RED accelerator design.
+* :mod:`repro.core.tradeoff` — the Sec. III-C area/parallelism explorer.
+"""
+
+from repro.core.mapping import SubCrossbarTensor, build_sct, kernel_from_sct
+from repro.core.dataflow import (
+    CycleSlot,
+    ZeroSkippingSchedule,
+    red_cycle_count,
+)
+from repro.core.fold import FoldedSCT, fold_sct, choose_fold
+from repro.core.red_design import REDDesign
+from repro.core.tradeoff import TradeoffPoint, explore_fold_tradeoff
+
+__all__ = [
+    "SubCrossbarTensor",
+    "build_sct",
+    "kernel_from_sct",
+    "CycleSlot",
+    "ZeroSkippingSchedule",
+    "red_cycle_count",
+    "FoldedSCT",
+    "fold_sct",
+    "choose_fold",
+    "REDDesign",
+    "TradeoffPoint",
+    "explore_fold_tradeoff",
+]

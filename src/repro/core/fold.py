@@ -1,0 +1,122 @@
+"""Area-efficient fold (paper Eq. 2, Sec. III-C).
+
+When ``KH * KW`` sub-crossbars are too many (FCN stride-8 needs 256), RED
+halves the SC count by stacking ``fold`` taps into one physical SC of
+``fold * C`` rows and interleaving their input vectors over ``fold``
+cycles:
+
+    Cycle 1:  In[0:C]   = I_even,   In[C:2C]  = 0
+    Cycle 2:  In[0:C]   = 0,        In[C:2C]  = I_odd            (Eq. 2)
+
+Because only one row segment is live per cycle, the folded SC's output is
+exactly the live tap's contribution; the existing accumulators merge the
+``fold`` cycles.  The paper's configuration: 128 physical SCs complete the
+64 stride-8 computation modes in two cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.mapping import SubCrossbarTensor
+from repro.deconv.modes import decompose_modes
+from repro.errors import MappingError
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class FoldedSCT:
+    """A folded sub-crossbar tensor.
+
+    Attributes:
+        data: array ``(fold * C, M, num_folded_scs)``; physical SC ``n``
+            stacks ``fold`` original taps, tap slot ``f`` occupying rows
+            ``[f*C, (f+1)*C)``.
+        tap_slots: ``tap_slots[n][f]`` is the flat tap index stored in
+            slot ``f`` of physical SC ``n`` (or ``None`` padding).
+        fold: interleave factor (1 = unfolded).
+        base: the original (unfolded) tensor's spec carrier.
+    """
+
+    data: np.ndarray
+    tap_slots: tuple[tuple[int | None, ...], ...]
+    fold: int
+    base: SubCrossbarTensor
+
+    @property
+    def num_physical_scs(self) -> int:
+        """Physical sub-crossbars after folding."""
+        return self.data.shape[2]
+
+    @property
+    def rows_per_sc(self) -> int:
+        """Rows per physical SC, ``fold * C``."""
+        return self.data.shape[0]
+
+    def slot_of_tap(self, tap: int) -> tuple[int, int]:
+        """Locate tap: returns ``(physical_sc, slot)``."""
+        for n, slots in enumerate(self.tap_slots):
+            for f, stored in enumerate(slots):
+                if stored == tap:
+                    return (n, f)
+        raise MappingError(f"tap {tap} not present in folded tensor")
+
+
+def choose_fold(spec, max_sub_crossbars: int = 128) -> int:
+    """Smallest power-of-two fold keeping the SC count within budget.
+
+    The paper folds FCN stride-8 (256 taps) by 2 into 128 physical SCs;
+    GAN kernels (16-25 taps) stay unfolded.
+    """
+    check_positive_int(max_sub_crossbars, "max_sub_crossbars")
+    taps = spec.num_kernel_taps
+    fold = 1
+    while -(-taps // fold) > max_sub_crossbars:
+        fold *= 2
+    return fold
+
+
+def fold_sct(sct: SubCrossbarTensor, fold: int) -> FoldedSCT:
+    """Stack taps ``fold``-deep into physical SCs (Eq. 2 geometry).
+
+    Taps are grouped mode-by-mode so bitline-sharing groups stay intact:
+    folding merges taps that would be summed anyway.
+    """
+    check_positive_int(fold, "fold")
+    c, m, taps = sct.data.shape
+    # Mode-major tap order keeps folded partners within one summation group.
+    ordered: list[int] = []
+    for mode in decompose_modes(sct.spec):
+        ordered.extend(kh * sct.spec.kernel_width + kw for kh, kw in mode.taps)
+    if sorted(ordered) != list(range(taps)):
+        raise MappingError("mode decomposition does not partition the taps")
+
+    num_phys = -(-taps // fold)
+    data = np.zeros((fold * c, m, num_phys), dtype=sct.data.dtype)
+    tap_slots: list[tuple[int | None, ...]] = []
+    for n in range(num_phys):
+        slots: list[int | None] = []
+        for f in range(fold):
+            idx = n * fold + f
+            if idx < taps:
+                tap = ordered[idx]
+                data[f * c : (f + 1) * c, :, n] = sct.data[:, :, tap]
+                slots.append(tap)
+            else:
+                slots.append(None)
+        tap_slots.append(tuple(slots))
+    return FoldedSCT(data=data, tap_slots=tuple(tap_slots), fold=fold, base=sct)
+
+
+def unfold_sct(folded: FoldedSCT) -> SubCrossbarTensor:
+    """Recover the original SCT from a folded tensor (exact inverse)."""
+    base = folded.base
+    c = base.spec.in_channels
+    data = np.zeros_like(base.data)
+    for n, slots in enumerate(folded.tap_slots):
+        for f, tap in enumerate(slots):
+            if tap is not None:
+                data[:, :, tap] = folded.data[f * c : (f + 1) * c, :, n]
+    return SubCrossbarTensor(data=data, spec=base.spec)

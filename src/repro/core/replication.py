@@ -1,0 +1,92 @@
+"""Bank replication: trading area for throughput.
+
+The fold of Eq. 2 trades *down* (fewer sub-crossbars, more cycles); the
+opposite direction is replication — program ``R`` copies of the SCT in
+parallel banks and assign each copy a slice of the output blocks, cutting
+cycles by ``R`` at ``R``-times the array and periphery cost.  PipeLayer
+and ReGAN use exactly this duplication for throughput; this module prices
+it for RED so the full area <-> latency axis (fold ... replication) can be
+explored as one frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.arch.breakdown import DesignMetrics
+from repro.arch.metrics import evaluate_design
+from repro.arch.tech import TechnologyParams, default_tech
+from repro.core.red_design import REDDesign
+from repro.deconv.shapes import DeconvSpec
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class ReplicationPoint:
+    """One replication factor on the throughput frontier.
+
+    Attributes:
+        replicas: SCT copies operating on disjoint output blocks.
+        cycles: rounds after replication (ceil division).
+        metrics: evaluated latency/energy/area.
+    """
+
+    replicas: int
+    cycles: int
+    metrics: DesignMetrics
+
+    @property
+    def latency(self) -> float:
+        """Seconds for the layer."""
+        return self.metrics.latency.total
+
+    @property
+    def area(self) -> float:
+        """Square metres, all replicas."""
+        return self.metrics.area.total
+
+
+def replicate_red(
+    spec: DeconvSpec,
+    replicas: int,
+    tech: TechnologyParams | None = None,
+    fold: int | str = "auto",
+    layer_name: str = "replicated",
+) -> ReplicationPoint:
+    """Evaluate RED with ``replicas`` parallel SCT copies.
+
+    Cycles divide by the replica count (output blocks are independent);
+    per-cycle work (rows selected, conversions) multiplies — total energy
+    is therefore unchanged to first order while latency drops.  Weights
+    are duplicated, so cells and all periphery multiply by ``replicas``.
+    """
+    check_positive_int(replicas, "replicas")
+    tech = tech or default_tech()
+    design = REDDesign(spec, tech=tech, fold=fold)
+    base = design.perf_input(layer_name)
+    cycles = -(-base.cycles // replicas)
+    perf = replace(
+        base,
+        cycles=cycles,
+        rows_selected_per_cycle=base.rows_selected_per_cycle * replicas,
+        conv_values_per_cycle=base.conv_values_per_cycle * replicas,
+        total_cells_logical=base.total_cells_logical * replicas,
+        broadcast_instances=base.broadcast_instances * replicas,
+        row_bank_instances=base.row_bank_instances * replicas,
+        col_periphery_sets=base.col_periphery_sets * replicas,
+        decoder_banks=tuple(
+            replace(bank, count=bank.count * replicas) for bank in base.decoder_banks
+        ),
+    )
+    return ReplicationPoint(
+        replicas=replicas, cycles=cycles, metrics=evaluate_design(perf, tech)
+    )
+
+
+def replication_frontier(
+    spec: DeconvSpec,
+    factors: tuple[int, ...] = (1, 2, 4, 8),
+    tech: TechnologyParams | None = None,
+) -> list[ReplicationPoint]:
+    """Evaluate a sweep of replication factors (ascending)."""
+    return [replicate_red(spec, r, tech) for r in sorted(set(factors))]

@@ -1,0 +1,85 @@
+"""Design trade-off exploration (paper Sec. III-C).
+
+RED's parallelism is ``stride^2 / fold``; each doubling of ``fold`` halves
+the sub-crossbar count (and its duplicated row periphery) while doubling
+the round count.  :func:`explore_fold_tradeoff` sweeps ``fold`` and
+returns the latency/energy/area frontier, reproducing the paper's
+observation that stride-8 FCN kernels are best run folded (256 taps on
+128 physical SCs, two cycles per round).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.breakdown import DesignMetrics
+from repro.arch.tech import TechnologyParams
+from repro.core.red_design import REDDesign
+from repro.deconv.shapes import DeconvSpec
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One fold configuration on the area/performance frontier."""
+
+    fold: int
+    num_physical_scs: int
+    cycles: int
+    metrics: DesignMetrics
+
+    @property
+    def latency(self) -> float:
+        """Total latency in seconds."""
+        return self.metrics.latency.total
+
+    @property
+    def energy(self) -> float:
+        """Total energy in joules."""
+        return self.metrics.energy.total
+
+    @property
+    def area(self) -> float:
+        """Total area in square metres."""
+        return self.metrics.area.total
+
+
+def explore_fold_tradeoff(
+    spec: DeconvSpec,
+    folds: tuple[int, ...] | None = None,
+    tech: TechnologyParams | None = None,
+    layer_name: str = "",
+) -> list[TradeoffPoint]:
+    """Evaluate RED across fold factors.
+
+    Args:
+        spec: the deconvolution layer.
+        folds: fold factors to test; defaults to powers of two up to the
+            tap count.
+        tech: technology constants.
+        layer_name: label threaded into the metrics.
+
+    Returns:
+        One :class:`TradeoffPoint` per fold, in increasing fold order.
+    """
+    if folds is None:
+        folds_list = []
+        f = 1
+        while f <= spec.num_kernel_taps:
+            folds_list.append(f)
+            f *= 2
+        folds = tuple(folds_list)
+    if not folds:
+        raise ParameterError("folds must be non-empty")
+    points = []
+    for fold in sorted(set(folds)):
+        design = REDDesign(spec, tech=tech, fold=fold)
+        points.append(
+            TradeoffPoint(
+                fold=fold,
+                num_physical_scs=design.num_physical_scs,
+                cycles=design.cycles,
+                metrics=design.evaluate(layer_name),
+            )
+        )
+    return points

@@ -1,0 +1,113 @@
+"""ASCII visualizations of the paper's schematic figures.
+
+The evaluation figures (4, 7, 8, 9) are regenerated numerically by
+:mod:`repro.eval`; the *mechanism* figures are regenerated here as ASCII
+diagrams computed from the real mapping/schedule code (not hand-drawn):
+
+* :func:`render_padded_map` — the zero-inserted input of Fig. 2/3a.
+* :func:`render_modes` — the computation-mode grids of Fig. 6.
+* :func:`render_cycle_table` — the per-cycle SC input assignments of
+  Fig. 5c.
+"""
+
+from __future__ import annotations
+
+from repro.core.dataflow import ZeroSkippingSchedule
+from repro.deconv.modes import decompose_modes
+from repro.deconv.shapes import DeconvSpec
+from repro.deconv.zero_padding import zero_insert_input
+from repro.utils.formatting import render_ascii_table
+from repro.utils.validation import check_positive_int
+
+import numpy as np
+
+
+def render_padded_map(spec: DeconvSpec) -> str:
+    """Draw the padded input map: ``#`` live pixels, ``.`` inserted zeros.
+
+    This is the sparsity picture behind Fig. 4: for the SNGAN layer the
+    11x11 grid holds only 16 ``#``.
+    """
+    x = np.ones(spec.input_shape)
+    padded = zero_insert_input(x, spec)[:, :, 0]
+    lines = [
+        "".join("#" if cell else "." for cell in row) for row in padded
+    ]
+    live = int(padded.sum())
+    header = (
+        f"padded map {padded.shape[0]}x{padded.shape[1]}, "
+        f"{live} live / {padded.size} total "
+        f"({(1 - live / padded.size) * 100:.1f}% zero redundancy)"
+    )
+    return "\n".join([header] + lines)
+
+
+def render_modes(spec: DeconvSpec) -> str:
+    """Draw the kernel tap grid per computation mode (Fig. 6).
+
+    Each mode prints the ``KH x KW`` kernel with its own taps numbered
+    (1-based, row-major over the kernel as in the paper) and other taps
+    as ``.``.
+    """
+    modes = decompose_modes(spec)
+    blocks: list[str] = []
+    for index, mode in enumerate(modes):
+        tap_set = set(mode.taps)
+        lines = [
+            f"mode ({mode.phase_y},{mode.phase_x}) — {mode.num_taps} taps"
+        ]
+        for kh in range(spec.kernel_height):
+            cells = []
+            for kw in range(spec.kernel_width):
+                number = kh * spec.kernel_width + kw + 1
+                cells.append(f"{number:>3}" if (kh, kw) in tap_set else "  .")
+            lines.append(" ".join(cells))
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+def render_cycle_table(spec: DeconvSpec, num_cycles: int = 2) -> str:
+    """Tabulate the first rounds of the zero-skipping schedule (Fig. 5c).
+
+    One row per sub-crossbar: which input pixel ``I(ih, iw)`` it receives
+    in each of the first ``num_cycles`` rounds, and which output pixel the
+    round produces through it.
+    """
+    check_positive_int(num_cycles, "num_cycles")
+    schedule = ZeroSkippingSchedule(spec)
+    blocks_y, blocks_x = schedule.num_blocks
+    slots = []
+    for index in range(min(num_cycles, blocks_y * blocks_x)):
+        by, bx = divmod(index, blocks_x)
+        slots.append(schedule.cycle(by, bx))
+
+    headers = ["SC (kh,kw)"] + [f"cycle {i + 1} input" for i in range(len(slots))] + [
+        f"cycle {i + 1} output" for i in range(len(slots))
+    ]
+    mode_of = {}
+    for mode_index, mode in enumerate(decompose_modes(spec)):
+        for tap in mode.taps:
+            mode_of[tap] = mode_index
+    rows = []
+    for kh in range(spec.kernel_height):
+        for kw in range(spec.kernel_width):
+            row: list[str] = [f"SC{kh * spec.kernel_width + kw + 1} ({kh},{kw})"]
+            outs: list[str] = []
+            for slot in slots:
+                pixel = slot.assignments.get((kh, kw))
+                row.append(f"I({pixel[0]},{pixel[1]})" if pixel else "-")
+                target = next(
+                    (
+                        f"O({oy},{ox})"
+                        for oy, ox, mode_index in slot.outputs
+                        if mode_index == mode_of.get((kh, kw))
+                    ),
+                    "-",
+                )
+                outs.append(target if pixel else "-")
+            rows.append(row + outs)
+    title = (
+        f"Fig. 5c schedule for {spec.describe()} — "
+        f"{blocks_y * blocks_x} rounds total"
+    )
+    return render_ascii_table(headers, rows, title=title)

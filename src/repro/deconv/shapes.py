@@ -1,0 +1,242 @@
+"""Shape algebra for deconvolution layers.
+
+A deconvolution (transposed convolution) with input ``IH x IW x C``, kernel
+``KH x KW x C x M``, stride ``s``, padding ``p`` and output padding ``op``
+produces output
+
+    ``OH = (IH - 1) * s - 2 * p + KH + op``        (same for width)
+
+which matches the PyTorch ``conv_transpose2d`` convention the GAN/FCN
+models in Table I follow.  The equivalent *zero-padding* view (the paper's
+Algorithm 1) stretches the input by inserting ``s - 1`` zeros between
+pixels, adds a border of ``K - 1 - p`` zeros (plus ``op`` extra rows/columns
+at the bottom/right), and then runs a stride-1 valid convolution with the
+180-degree-rotated kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ShapeError
+from repro.utils.validation import check_non_negative_int, check_positive_int
+
+
+@dataclass(frozen=True)
+class PaddedGeometry:
+    """Geometry of the zero-inserted ("padded") input map of Algorithm 1.
+
+    Attributes:
+        height / width: full padded map size.
+        border_top / border_left: leading zero border, ``K - 1 - p``.
+        border_bottom / border_right: trailing zero border,
+            ``K - 1 - p + output_padding``.
+        stretched_height / stretched_width: size after zero insertion but
+            before adding borders, ``(I - 1) * s + 1``.
+    """
+
+    height: int
+    width: int
+    border_top: int
+    border_left: int
+    border_bottom: int
+    border_right: int
+    stretched_height: int
+    stretched_width: int
+
+    @property
+    def num_pixels(self) -> int:
+        """Total pixel positions in the padded map (per channel)."""
+        return self.height * self.width
+
+
+@dataclass(frozen=True)
+class DeconvSpec:
+    """Complete shape specification of one deconvolution layer.
+
+    Attributes mirror Table I of the paper: input ``(IH, IW, C)``, kernel
+    ``(KH, KW, C, M)``, ``stride``, ``padding`` and ``output_padding``
+    (all symmetric in H/W unless stated otherwise via the ``*_w`` fields).
+    """
+
+    input_height: int
+    input_width: int
+    in_channels: int
+    kernel_height: int
+    kernel_width: int
+    out_channels: int
+    stride: int
+    padding: int = 0
+    output_padding: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.input_height, "input_height")
+        check_positive_int(self.input_width, "input_width")
+        check_positive_int(self.in_channels, "in_channels")
+        check_positive_int(self.kernel_height, "kernel_height")
+        check_positive_int(self.kernel_width, "kernel_width")
+        check_positive_int(self.out_channels, "out_channels")
+        check_positive_int(self.stride, "stride")
+        check_non_negative_int(self.padding, "padding")
+        check_non_negative_int(self.output_padding, "output_padding")
+        if self.padding >= self.kernel_height or self.padding >= self.kernel_width:
+            raise ShapeError(
+                f"padding {self.padding} must be smaller than the kernel "
+                f"({self.kernel_height}x{self.kernel_width}); the zero-padding "
+                "view would otherwise have a negative border"
+            )
+        if self.output_padding >= self.stride:
+            raise ShapeError(
+                f"output_padding {self.output_padding} must be < stride "
+                f"{self.stride} (transposed-convolution convention)"
+            )
+        if self.output_height < 1 or self.output_width < 1:
+            raise ShapeError(
+                f"spec {self} produces a non-positive output size "
+                f"({self.output_height}x{self.output_width})"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived sizes
+    # ------------------------------------------------------------------
+    @property
+    def output_height(self) -> int:
+        """``OH = (IH - 1) * s - 2p + KH + op``."""
+        return (
+            (self.input_height - 1) * self.stride
+            - 2 * self.padding
+            + self.kernel_height
+            + self.output_padding
+        )
+
+    @property
+    def output_width(self) -> int:
+        """``OW = (IW - 1) * s - 2p + KW + op``."""
+        return (
+            (self.input_width - 1) * self.stride
+            - 2 * self.padding
+            + self.kernel_width
+            + self.output_padding
+        )
+
+    @property
+    def input_shape(self) -> tuple[int, int, int]:
+        """``(IH, IW, C)``."""
+        return (self.input_height, self.input_width, self.in_channels)
+
+    @property
+    def kernel_shape(self) -> tuple[int, int, int, int]:
+        """``(KH, KW, C, M)``."""
+        return (
+            self.kernel_height,
+            self.kernel_width,
+            self.in_channels,
+            self.out_channels,
+        )
+
+    @property
+    def output_shape(self) -> tuple[int, int, int]:
+        """``(OH, OW, M)``."""
+        return (self.output_height, self.output_width, self.out_channels)
+
+    @property
+    def num_input_pixels(self) -> int:
+        """``IH * IW`` (pixel positions, channel dimension excluded)."""
+        return self.input_height * self.input_width
+
+    @property
+    def num_output_pixels(self) -> int:
+        """``OH * OW``."""
+        return self.output_height * self.output_width
+
+    @property
+    def num_kernel_taps(self) -> int:
+        """``KH * KW``."""
+        return self.kernel_height * self.kernel_width
+
+    @property
+    def num_weights(self) -> int:
+        """Total scalar weights, ``KH * KW * C * M``."""
+        return self.num_kernel_taps * self.in_channels * self.out_channels
+
+    # ------------------------------------------------------------------
+    # Zero-padding (Algorithm 1) geometry
+    # ------------------------------------------------------------------
+    def padded_geometry(self) -> PaddedGeometry:
+        """Geometry of the zero-inserted map convolved in Algorithm 1."""
+        border_top = self.kernel_height - 1 - self.padding
+        border_left = self.kernel_width - 1 - self.padding
+        stretched_h = (self.input_height - 1) * self.stride + 1
+        stretched_w = (self.input_width - 1) * self.stride + 1
+        height = stretched_h + border_top * 2 + self.output_padding
+        width = stretched_w + border_left * 2 + self.output_padding
+        return PaddedGeometry(
+            height=height,
+            width=width,
+            border_top=border_top,
+            border_left=border_left,
+            border_bottom=border_top + self.output_padding,
+            border_right=border_left + self.output_padding,
+            stretched_height=stretched_h,
+            stretched_width=stretched_w,
+        )
+
+    def contributing_taps(self, out_y: int, out_x: int) -> list[tuple[int, int, int, int]]:
+        """Kernel taps contributing to output pixel ``(out_y, out_x)``.
+
+        Returns tuples ``(kh, kw, ih, iw)``: tap position and the *original*
+        (pre-insertion) input pixel it multiplies.  This is the gather view
+        of the scatter relation ``oy = s * ih + kh - p``.
+        """
+        taps = []
+        for kh in range(self.kernel_height):
+            num_y = out_y + self.padding - kh
+            if num_y % self.stride != 0:
+                continue
+            ih = num_y // self.stride
+            if not 0 <= ih < self.input_height:
+                continue
+            for kw in range(self.kernel_width):
+                num_x = out_x + self.padding - kw
+                if num_x % self.stride != 0:
+                    continue
+                iw = num_x // self.stride
+                if not 0 <= iw < self.input_width:
+                    continue
+                taps.append((kh, kw, ih, iw))
+        return taps
+
+    def describe(self) -> str:
+        """One-line human-readable summary, Table I style."""
+        return (
+            f"in=({self.input_height},{self.input_width},{self.in_channels}) "
+            f"out=({self.output_height},{self.output_width},{self.out_channels}) "
+            f"kernel=({self.kernel_height},{self.kernel_width},"
+            f"{self.in_channels},{self.out_channels}) stride={self.stride} "
+            f"pad={self.padding} out_pad={self.output_padding}"
+        )
+
+
+def solve_padding(
+    input_size: int,
+    output_size: int,
+    kernel: int,
+    stride: int,
+) -> tuple[int, int]:
+    """Solve for ``(padding, output_padding)`` matching a target output size.
+
+    Table I gives input/output/kernel/stride but omits padding; this inverts
+    ``O = (I - 1) s - 2p + K + op`` choosing the smallest ``op`` in
+    ``[0, s)`` that admits an integer ``p >= 0``.
+    """
+    for output_padding in range(stride):
+        numerator = (input_size - 1) * stride + kernel + output_padding - output_size
+        if numerator < 0 or numerator % 2 != 0:
+            continue
+        padding = numerator // 2
+        if padding < kernel:
+            return padding, output_padding
+    raise ShapeError(
+        f"no (padding, output_padding) reproduces output {output_size} from "
+        f"input {input_size}, kernel {kernel}, stride {stride}"
+    )

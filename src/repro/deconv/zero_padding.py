@@ -1,0 +1,73 @@
+"""Algorithm 1: zero-padding deconvolution.
+
+Steps (paper Sec. II-B):
+
+a) *Padding* — insert ``stride - 1`` zeros between input pixels and add a
+   zero border of ``K - 1 - p`` (plus ``output_padding`` at bottom/right).
+b) *Convolution* — run a stride-1 valid convolution of the padded map with
+   the 180-degree-rotated kernel.
+
+The rotation makes the result agree exactly with the scatter reference
+(:func:`repro.deconv.reference.conv_transpose2d`); the padded map is what
+the conventional ReRAM accelerator streams through its crossbar, and its
+overwhelming zero fraction (Fig. 4) is the redundancy RED removes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.deconv.reference import conv2d_valid, rotate_kernel_180, _check_operands
+from repro.deconv.shapes import DeconvSpec
+
+
+def zero_insert_input(x: np.ndarray, spec: DeconvSpec) -> np.ndarray:
+    """Build the zero-inserted, zero-bordered input map ``Ipad``.
+
+    Args:
+        x: input activations ``(IH, IW, C)``.
+        spec: layer specification (shapes must match).
+
+    Returns:
+        ``(PH, PW, C)`` padded map whose geometry is
+        ``spec.padded_geometry()``.
+    """
+    if tuple(x.shape) != spec.input_shape:
+        from repro.errors import ShapeError
+
+        raise ShapeError(f"input shape {x.shape} != spec {spec.input_shape}")
+    geom = spec.padded_geometry()
+    out = np.zeros((geom.height, geom.width, spec.in_channels), dtype=x.dtype)
+    top, left = geom.border_top, geom.border_left
+    out[
+        top : top + geom.stretched_height : spec.stride,
+        left : left + geom.stretched_width : spec.stride,
+        :,
+    ] = x
+    return out
+
+
+def zero_padding_deconv(x: np.ndarray, w: np.ndarray, spec: DeconvSpec) -> np.ndarray:
+    """Run Algorithm 1 end to end and return the ``(OH, OW, M)`` output."""
+    _check_operands(x, w, spec)
+    padded = zero_insert_input(x.astype(np.float64, copy=False), spec)
+    return conv2d_valid(padded, rotate_kernel_180(w))
+
+
+def padded_input_vectors(x: np.ndarray, spec: DeconvSpec) -> np.ndarray:
+    """Per-cycle input vectors of the zero-padding *accelerator* dataflow.
+
+    The conventional design feeds one im2col window of the padded map per
+    cycle: cycle ``t = oy * OW + ox`` supplies the flattened
+    ``KH * KW * C`` window at output position ``(oy, ox)``.  Returns an
+    ``(OH * OW, KH * KW * C)`` array — mostly zeros, which is exactly the
+    wasted work Fig. 4 quantifies.
+    """
+    padded = zero_insert_input(x, spec)
+    kh, kw = spec.kernel_height, spec.kernel_width
+    windows = np.lib.stride_tricks.sliding_window_view(padded, (kh, kw), axis=(0, 1))
+    # windows: (OH, OW, C, KH, KW) -> (OH*OW, KH*KW*C) with (kh, kw, c) order
+    # matching the row ordering used by the kernel-mapping convention.
+    oh, ow = spec.output_height, spec.output_width
+    vecs = windows.transpose(0, 1, 3, 4, 2).reshape(oh * ow, kh * kw * spec.in_channels)
+    return vecs

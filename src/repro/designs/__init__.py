@@ -1,0 +1,24 @@
+"""Accelerator designs: the two baselines the paper compares against.
+
+* :class:`ZeroPaddingDesign` — conventional convolution mapping fed the
+  zero-inserted input (what ReGAN does for deconvolution).
+* :class:`PaddingFreeDesign` — per-pixel kernel mapping with overlap-add
+  and crop circuitry (the FCN-Engine approach ported to ReRAM).
+
+RED itself lives in :mod:`repro.core` (it is the paper's contribution);
+all three share the :class:`DeconvDesign` interface defined here.
+"""
+
+from repro.designs.base import DeconvDesign, FunctionalRun
+from repro.designs.zero_padding_design import ZeroPaddingDesign
+from repro.designs.padding_free_design import PaddingFreeDesign
+from repro.designs.conv_design import ConvolutionDesign, ConvSpec
+
+__all__ = [
+    "DeconvDesign",
+    "FunctionalRun",
+    "ZeroPaddingDesign",
+    "PaddingFreeDesign",
+    "ConvolutionDesign",
+    "ConvSpec",
+]

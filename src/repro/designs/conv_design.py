@@ -1,0 +1,200 @@
+"""Standard convolution on the ReRAM crossbar (paper Fig. 1b).
+
+The preliminary of the paper (Sec. II-A) describes the conventional CNN
+mapping every ReRAM accelerator shares: each filter flattens into one
+column of a ``KH*KW*C x M`` crossbar and one im2col window is fed per
+cycle.  The deconvolution designs all build on this machinery — and the
+workload networks contain plain convolution layers too (SNGAN's to-RGB
+head, the FCN encoder), so a complete PIM evaluation needs it.
+
+:class:`ConvolutionDesign` provides the same three views as the
+deconvolution designs: functional, quantized, and performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.breakdown import DesignMetrics
+from repro.arch.metrics import evaluate_design
+from repro.arch.perf_input import DecoderBank, DesignPerfInput
+from repro.arch.tech import TechnologyParams, default_tech
+from repro.deconv.reference import conv2d
+from repro.errors import ShapeError
+from repro.reram.bitslice import WeightSlicing
+from repro.reram.pipeline import CrossbarPipeline
+from repro.utils.validation import check_non_negative_int, check_positive_int
+
+
+@dataclass(frozen=True)
+class ConvSpec:
+    """Shape specification of a standard convolution layer.
+
+    Attributes mirror :class:`~repro.deconv.shapes.DeconvSpec` but with
+    forward-convolution output algebra:
+    ``OH = (IH + 2p - KH) // s + 1``.
+    """
+
+    input_height: int
+    input_width: int
+    in_channels: int
+    kernel_height: int
+    kernel_width: int
+    out_channels: int
+    stride: int = 1
+    padding: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.input_height, "input_height")
+        check_positive_int(self.input_width, "input_width")
+        check_positive_int(self.in_channels, "in_channels")
+        check_positive_int(self.kernel_height, "kernel_height")
+        check_positive_int(self.kernel_width, "kernel_width")
+        check_positive_int(self.out_channels, "out_channels")
+        check_positive_int(self.stride, "stride")
+        check_non_negative_int(self.padding, "padding")
+        if self.output_height < 1 or self.output_width < 1:
+            raise ShapeError(f"spec {self} produces an empty output")
+
+    @property
+    def output_height(self) -> int:
+        """``(IH + 2p - KH) // s + 1``."""
+        return (self.input_height + 2 * self.padding - self.kernel_height) // self.stride + 1
+
+    @property
+    def output_width(self) -> int:
+        """``(IW + 2p - KW) // s + 1``."""
+        return (self.input_width + 2 * self.padding - self.kernel_width) // self.stride + 1
+
+    @property
+    def input_shape(self) -> tuple[int, int, int]:
+        """``(IH, IW, C)``."""
+        return (self.input_height, self.input_width, self.in_channels)
+
+    @property
+    def kernel_shape(self) -> tuple[int, int, int, int]:
+        """``(KH, KW, C, M)``."""
+        return (self.kernel_height, self.kernel_width, self.in_channels, self.out_channels)
+
+    @property
+    def output_shape(self) -> tuple[int, int, int]:
+        """``(OH, OW, M)``."""
+        return (self.output_height, self.output_width, self.out_channels)
+
+    @property
+    def num_weights(self) -> int:
+        """``KH*KW*C*M``."""
+        return self.kernel_height * self.kernel_width * self.in_channels * self.out_channels
+
+
+def _im2col(x: np.ndarray, spec: ConvSpec) -> np.ndarray:
+    """Flatten input windows to ``(OH*OW, KH*KW*C)`` rows, ``(kh,kw,c)`` order."""
+    if spec.padding:
+        x = np.pad(x, ((spec.padding,) * 2, (spec.padding,) * 2, (0, 0)))
+    windows = np.lib.stride_tricks.sliding_window_view(
+        x, (spec.kernel_height, spec.kernel_width), axis=(0, 1)
+    )[:: spec.stride, :: spec.stride]
+    oh, ow = spec.output_height, spec.output_width
+    return windows.transpose(0, 1, 3, 4, 2).reshape(
+        oh * ow, spec.kernel_height * spec.kernel_width * spec.in_channels
+    )
+
+
+class ConvolutionDesign:
+    """Fig. 1b: standard convolution on one ``KH*KW*C x M`` crossbar."""
+
+    name = "convolution"
+
+    def __init__(self, spec: ConvSpec, tech: TechnologyParams | None = None) -> None:
+        self.spec = spec
+        self.tech = tech or default_tech()
+
+    def _kernel_matrix(self, w: np.ndarray) -> np.ndarray:
+        kh, kw, c, m = w.shape
+        return w.reshape(kh * kw * c, m)
+
+    def run_functional(self, x: np.ndarray, w: np.ndarray):
+        """One crossbar VMM per output position; matches ``conv2d``."""
+        from repro.designs.base import FunctionalRun
+
+        if tuple(x.shape) != self.spec.input_shape:
+            raise ShapeError(f"input shape {x.shape} != {self.spec.input_shape}")
+        if tuple(w.shape) != self.spec.kernel_shape:
+            raise ShapeError(f"kernel shape {w.shape} != {self.spec.kernel_shape}")
+        vectors = _im2col(x.astype(np.float64, copy=False), self.spec)
+        out = (vectors @ self._kernel_matrix(w)).reshape(self.spec.output_shape)
+        return FunctionalRun(
+            output=out,
+            cycles=vectors.shape[0],
+            counters={
+                "input_vectors": vectors.shape[0],
+                "nonzero_input_elements": int(np.count_nonzero(vectors)),
+            },
+        )
+
+    def run_quantized(self, x_int: np.ndarray, w_int: np.ndarray):
+        """Bit-accurate integer convolution through the ReRAM pipeline."""
+        from repro.designs.base import FunctionalRun
+
+        slicing = WeightSlicing(self.tech.bits_weight, self.tech.bits_per_cell)
+        pipeline = CrossbarPipeline(
+            self._kernel_matrix(np.asarray(w_int, dtype=np.int64)),
+            slicing=slicing,
+            bits_input=self.tech.bits_input,
+        )
+        vectors = _im2col(np.asarray(x_int, dtype=np.int64), self.spec)
+        result = pipeline.matmul(vectors)
+        return FunctionalRun(
+            output=result.values.reshape(self.spec.output_shape),
+            cycles=vectors.shape[0],
+            counters={"adc_conversions": result.activity.adc_conversions},
+        )
+
+    def perf_input(
+        self, layer_name: str = "", activation_density: float = 1.0
+    ) -> DesignPerfInput:
+        """Counts for the evaluator; density scales live wordline activity."""
+        if not 0.0 < activation_density <= 1.0:
+            raise ShapeError(
+                f"activation_density must be in (0, 1], got {activation_density}"
+            )
+        spec = self.spec
+        rows = spec.kernel_height * spec.kernel_width * spec.in_channels
+        cycles = spec.output_height * spec.output_width
+        # Convolution windows always overlap valid data (unlike deconv's
+        # inserted zeros) — live rows scale only with activation density.
+        live_rows = cycles * rows * activation_density
+        # DeconvSpec carrier: the evaluator only reads counts, but the
+        # record requires a spec; reuse a 1:1 deconv with identical kernel.
+        from repro.deconv.shapes import DeconvSpec
+
+        carrier = DeconvSpec(
+            input_height=spec.input_height, input_width=spec.input_width,
+            in_channels=spec.in_channels,
+            kernel_height=spec.kernel_height, kernel_width=spec.kernel_width,
+            out_channels=spec.out_channels, stride=1,
+            padding=min(spec.padding, spec.kernel_height - 1),
+        )
+        return DesignPerfInput(
+            design=self.name,
+            layer=layer_name,
+            spec=carrier,
+            cycles=cycles,
+            wordline_cols=spec.out_channels,
+            bitline_rows=rows,
+            rows_selected_per_cycle=rows,
+            decoder_banks=(DecoderBank(rows=rows, count=1),),
+            conv_values_per_cycle=spec.out_channels,
+            live_row_cycles_total=max(live_rows, 1e-9),
+            useful_macs=max(int(cycles * rows * spec.out_channels * activation_density), 1),
+            total_cells_logical=spec.num_weights,
+            col_periphery_sets=1,
+            col_set_width=spec.out_channels,
+            row_bank_instances=1,
+        )
+
+    def evaluate(self, layer_name: str = "", activation_density: float = 1.0) -> DesignMetrics:
+        """Latency/energy/area for the convolution layer."""
+        return evaluate_design(self.perf_input(layer_name, activation_density), self.tech)

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the RED reproduction library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch one type at the API boundary.  Specific subclasses separate user
+input problems (shapes, parameters) from internal modelling errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class ShapeError(ReproError, ValueError):
+    """A tensor or layer shape is inconsistent or unsupported."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A configuration parameter is out of its valid range."""
+
+
+class MappingError(ReproError):
+    """A crossbar mapping is malformed (wrong geometry, bad fold, ...)."""
+
+
+class ScheduleError(ReproError):
+    """A dataflow schedule is inconsistent with its layer specification."""
+
+
+class DeviceError(ReproError):
+    """A ReRAM device/array model was configured or driven incorrectly."""
+
+
+class CalibrationError(ReproError):
+    """The architecture model constants are inconsistent."""

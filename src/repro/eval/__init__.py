@@ -1,0 +1,45 @@
+"""Evaluation harness: regenerates every table and figure in the paper.
+
+* :mod:`repro.eval.harness` — runs the design x layer grid.
+* :mod:`repro.eval.figures` — data series for Fig. 4, Fig. 7, Fig. 8, Fig. 9.
+* :mod:`repro.eval.tables` — Table I / Table II renderers.
+* :mod:`repro.eval.paper_targets` — the published numbers and the bands we
+  assert against.
+* :mod:`repro.eval.report` — formatted text/CSV emission.
+"""
+
+from repro.eval.harness import EvaluationGrid, run_grid, DESIGN_ORDER
+from repro.eval.figures import (
+    fig4_redundancy_curves,
+    fig7_latency,
+    fig8_energy,
+    fig9_area,
+)
+from repro.eval.tables import render_table1, render_table2
+from repro.eval.paper_targets import PAPER_TARGETS, PaperBand
+from repro.eval.report import (
+    format_fig4,
+    format_fig7,
+    format_fig8,
+    format_fig9,
+    full_report,
+)
+
+__all__ = [
+    "EvaluationGrid",
+    "run_grid",
+    "DESIGN_ORDER",
+    "fig4_redundancy_curves",
+    "fig7_latency",
+    "fig8_energy",
+    "fig9_area",
+    "render_table1",
+    "render_table2",
+    "PAPER_TARGETS",
+    "PaperBand",
+    "format_fig4",
+    "format_fig7",
+    "format_fig8",
+    "format_fig9",
+    "full_report",
+]

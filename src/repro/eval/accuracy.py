@@ -1,0 +1,107 @@
+"""Hardware-accuracy studies: quantization and device noise end to end.
+
+The paper evaluates performance only; a deployable accelerator must also
+preserve network outputs.  This module runs a deconvolution layer through
+the full ReRAM pipeline under configurable non-idealities and reports the
+numerical degradation versus the float reference — the data behind the
+precision ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.deconv.reference import conv_transpose2d
+from repro.deconv.shapes import DeconvSpec
+from repro.errors import ParameterError
+from repro.nn.quantize import quantize_tensor, symmetric_quant_params
+from repro.reram.bitslice import WeightSlicing
+from repro.reram.device import ReRAMDeviceParams
+from repro.reram.noise import NoiseModel
+from repro.reram.pipeline import CrossbarPipeline
+
+
+@dataclass(frozen=True)
+class AccuracyPoint:
+    """One configuration's output fidelity.
+
+    Attributes:
+        label: configuration description.
+        relative_error: mean |out - ref| / mean |ref|.
+        snr_db: signal-to-noise ratio of the hardware output in dB.
+    """
+
+    label: str
+    relative_error: float
+    snr_db: float
+
+
+def _fidelity(label: str, approx: np.ndarray, reference: np.ndarray) -> AccuracyPoint:
+    err = approx - reference
+    signal = float(np.mean(reference**2))
+    noise = float(np.mean(err**2))
+    rel = float(np.abs(err).mean() / (np.abs(reference).mean() + 1e-300))
+    snr = float("inf") if noise == 0.0 else 10.0 * np.log10(signal / noise)
+    return AccuracyPoint(label=label, relative_error=rel, snr_db=snr)
+
+
+def layer_accuracy_study(
+    spec: DeconvSpec,
+    seed: int = 0,
+    bits: int = 8,
+    adc_bits_sweep: tuple[int, ...] = (8, 6, 4),
+    sigma_sweep: tuple[float, ...] = (0.02, 0.05, 0.1),
+) -> list[AccuracyPoint]:
+    """Sweep ADC resolution and programming variation on one layer.
+
+    The layer's kernel maps onto a single crossbar in the zero-padding
+    style (the arithmetic is mapping-independent, so any design's
+    conclusions transfer); activations/weights quantize to ``bits``.
+
+    Returns one :class:`AccuracyPoint` per configuration, starting with
+    the lossless baseline (quantization error only).
+    """
+    if bits < 2:
+        raise ParameterError(f"bits must be >= 2, got {bits}")
+    rng = np.random.default_rng(seed)
+    x = np.maximum(rng.standard_normal(spec.input_shape), 0.0)
+    w = rng.normal(0.0, 0.05, size=spec.kernel_shape)
+    reference = conv_transpose2d(x, w, spec)
+
+    x_params = symmetric_quant_params(x, bits=bits, signed=False)
+    w_params = symmetric_quant_params(w, bits=bits, signed=True)
+    x_int = quantize_tensor(x, x_params)
+    w_int = quantize_tensor(w, w_params)
+    scale = x_params.scale * w_params.scale
+
+    # Flatten the layer to one integer matmul (gather form): rows are the
+    # per-output-window input vectors, the matrix is the rotated kernel.
+    from repro.deconv.reference import rotate_kernel_180
+    from repro.deconv.zero_padding import padded_input_vectors
+
+    vectors = padded_input_vectors(x_int, spec).astype(np.int64)
+    matrix = rotate_kernel_180(w_int).reshape(-1, spec.out_channels)
+
+    def run(adc_bits: int | None, noise: NoiseModel | None, label: str) -> AccuracyPoint:
+        slicing = WeightSlicing(bits_weight=bits, bits_per_cell=2)
+        pipeline = CrossbarPipeline(
+            matrix,
+            slicing=slicing,
+            bits_input=bits,
+            device=ReRAMDeviceParams(bits_per_cell=2),
+            adc_bits=adc_bits,
+            noise=noise,
+        )
+        out = pipeline.matmul(vectors).values.reshape(spec.output_shape)
+        return _fidelity(label, out * scale, reference)
+
+    points = [run(None, None, f"lossless ({bits}b quantization only)")]
+    for adc_bits in adc_bits_sweep:
+        points.append(run(adc_bits, None, f"ADC {adc_bits} bits"))
+    for sigma in sigma_sweep:
+        points.append(
+            run(None, NoiseModel(programming_sigma=sigma, seed=seed + 1), f"variation sigma={sigma}")
+        )
+    return points

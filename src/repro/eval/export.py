@@ -1,0 +1,76 @@
+"""Machine-readable export of the evaluation results.
+
+Writes the design x layer grid as CSV or JSON so downstream tooling
+(plotters, spreadsheets, regression dashboards) can consume the
+reproduction without importing the library.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.eval.harness import DESIGN_ORDER, EvaluationGrid, run_grid
+
+#: Per-component columns exported for latency and energy.
+_COMPONENTS = (
+    "computation", "wordline", "bitline",
+    "decoder", "mux", "read_circuit", "shift_adder", "extra_adder", "crop",
+)
+
+
+def grid_records(grid: EvaluationGrid | None = None) -> list[dict[str, object]]:
+    """Flatten the grid to one record per (layer, design)."""
+    grid = grid or run_grid()
+    records: list[dict[str, object]] = []
+    for layer in grid.layers:
+        base = grid.baseline(layer.name)
+        for design in DESIGN_ORDER:
+            m = grid.get(layer.name, design)
+            record: dict[str, object] = {
+                "layer": layer.name,
+                "design": design,
+                "cycles": m.cycles,
+                "latency_s": m.latency.total,
+                "energy_j": m.energy.total,
+                "area_m2": m.area.total,
+                "speedup_vs_zero_padding": m.speedup_over(base),
+                "energy_saving_vs_zero_padding": m.energy_saving_over(base),
+                "area_ratio_vs_zero_padding": m.area.total / base.area.total,
+                "latency_array_s": m.latency.array,
+                "latency_periphery_s": m.latency.periphery,
+                "energy_array_j": m.energy.array,
+                "energy_periphery_j": m.energy.periphery,
+            }
+            for component in _COMPONENTS:
+                record[f"energy_{component}_j"] = m.energy.as_dict()[component]
+            records.append(record)
+    return records
+
+
+def to_csv(grid: EvaluationGrid | None = None) -> str:
+    """The grid as CSV text."""
+    records = grid_records(grid)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(records[0]))
+    writer.writeheader()
+    writer.writerows(records)
+    return buffer.getvalue()
+
+
+def to_json(grid: EvaluationGrid | None = None, indent: int = 2) -> str:
+    """The grid as a JSON array."""
+    return json.dumps(grid_records(grid), indent=indent)
+
+
+def write_csv(path: str, grid: EvaluationGrid | None = None) -> None:
+    """Write the CSV export to ``path``."""
+    with open(path, "w", newline="") as handle:
+        handle.write(to_csv(grid))
+
+
+def write_json(path: str, grid: EvaluationGrid | None = None) -> None:
+    """Write the JSON export to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(to_json(grid))

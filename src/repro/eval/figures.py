@@ -1,0 +1,157 @@
+"""Data generators for the paper's figures.
+
+Each function returns plain data structures (dicts/lists of floats) shaped
+like the corresponding figure's series, so benchmarks can print them and
+tests can assert the paper bands without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.deconv.analysis import redundancy_vs_stride
+from repro.eval.harness import DESIGN_ORDER, EvaluationGrid, run_grid
+
+
+# ----------------------------------------------------------------------
+# Fig. 4 — zero redundancy vs stride
+# ----------------------------------------------------------------------
+def fig4_redundancy_curves(
+    strides: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+) -> dict[str, list[tuple[int, float]]]:
+    """The two curves of Fig. 4.
+
+    ``"SNGAN input:4x4"`` keeps the SNGAN kernel (4x4) fixed while the
+    stride sweeps; ``"FCN input:16x16"`` follows the FCN convention
+    ``K = 2s``.  Values are the zero-pixel fraction of the padded map
+    (86.8% at stride 2 for SNGAN; 99.8%+ at stride 32 for FCN).
+    """
+    return {
+        "SNGAN input:4x4": redundancy_vs_stride(
+            4, strides=strides, kernel_rule="fixed", kernel_size=4
+        ),
+        "FCN input:16x16": redundancy_vs_stride(16, strides=strides, kernel_rule="fcn"),
+    }
+
+
+# ----------------------------------------------------------------------
+# Fig. 7 — latency
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LatencyFigure:
+    """Fig. 7 data: speedups (a) and normalized breakdowns (b).
+
+    Attributes:
+        speedup: ``speedup[layer][design]`` relative to zero-padding.
+        breakdown: ``breakdown[layer][design]`` -> dict with keys
+            ``array`` / ``periphery``, each a fraction of the
+            zero-padding design's total latency.
+    """
+
+    speedup: dict[str, dict[str, float]]
+    breakdown: dict[str, dict[str, dict[str, float]]]
+
+
+def fig7_latency(grid: EvaluationGrid | None = None) -> LatencyFigure:
+    """Reproduce Fig. 7a (speedup) and Fig. 7b (latency breakdown)."""
+    grid = grid or run_grid()
+    speedup: dict[str, dict[str, float]] = {}
+    breakdown: dict[str, dict[str, dict[str, float]]] = {}
+    for layer in grid.layers:
+        base = grid.baseline(layer.name).latency
+        speedup[layer.name] = {}
+        breakdown[layer.name] = {}
+        for design in DESIGN_ORDER:
+            metrics = grid.get(layer.name, design)
+            speedup[layer.name][design] = grid.speedup(layer.name, design)
+            breakdown[layer.name][design] = {
+                "array": metrics.latency.array / base.total,
+                "periphery": metrics.latency.periphery / base.total,
+            }
+    return LatencyFigure(speedup=speedup, breakdown=breakdown)
+
+
+# ----------------------------------------------------------------------
+# Fig. 8 — energy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EnergyFigure:
+    """Fig. 8 data: energy savings (a) and normalized breakdowns (b).
+
+    Attributes:
+        saving: ``saving[layer][design]`` — fraction of zero-padding
+            energy saved (negative = consumes more).
+        ratio: ``ratio[layer][design]`` — total energy relative to
+            zero-padding.
+        breakdown: array/periphery fractions of zero-padding total.
+        array_ratio: array-only energy relative to zero-padding's array.
+    """
+
+    saving: dict[str, dict[str, float]]
+    ratio: dict[str, dict[str, float]]
+    breakdown: dict[str, dict[str, dict[str, float]]]
+    array_ratio: dict[str, dict[str, float]]
+
+
+def fig8_energy(grid: EvaluationGrid | None = None) -> EnergyFigure:
+    """Reproduce Fig. 8a (energy saving) and Fig. 8b (energy breakdown)."""
+    grid = grid or run_grid()
+    saving: dict[str, dict[str, float]] = {}
+    ratio: dict[str, dict[str, float]] = {}
+    breakdown: dict[str, dict[str, dict[str, float]]] = {}
+    array_ratio: dict[str, dict[str, float]] = {}
+    for layer in grid.layers:
+        base = grid.baseline(layer.name).energy
+        saving[layer.name] = {}
+        ratio[layer.name] = {}
+        breakdown[layer.name] = {}
+        array_ratio[layer.name] = {}
+        for design in DESIGN_ORDER:
+            energy = grid.get(layer.name, design).energy
+            saving[layer.name][design] = 1.0 - energy.total / base.total
+            ratio[layer.name][design] = energy.total / base.total
+            breakdown[layer.name][design] = {
+                "array": energy.array / base.total,
+                "periphery": energy.periphery / base.total,
+            }
+            array_ratio[layer.name][design] = energy.array / base.array
+    return EnergyFigure(
+        saving=saving, ratio=ratio, breakdown=breakdown, array_ratio=array_ratio
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 9 — area
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AreaFigure:
+    """Fig. 9 data for the shown layers (GAN_Deconv1, FCN_Deconv2).
+
+    Attributes:
+        normalized: ``normalized[layer][design]`` -> dict with
+            ``array`` / ``periphery`` / ``total`` fractions of the
+            zero-padding total.
+    """
+
+    normalized: dict[str, dict[str, dict[str, float]]]
+
+
+#: The two layers Fig. 9 shows.
+FIG9_LAYERS: tuple[str, str] = ("GAN_Deconv1", "FCN_Deconv2")
+
+
+def fig9_area(grid: EvaluationGrid | None = None) -> AreaFigure:
+    """Reproduce Fig. 9 (area breakdown, normalized to zero-padding)."""
+    grid = grid or run_grid()
+    normalized: dict[str, dict[str, dict[str, float]]] = {}
+    for layer_name in FIG9_LAYERS:
+        base = grid.baseline(layer_name).area
+        normalized[layer_name] = {}
+        for design in DESIGN_ORDER:
+            area = grid.get(layer_name, design).area
+            normalized[layer_name][design] = {
+                "array": area.array / base.total,
+                "periphery": area.periphery / base.total,
+                "total": area.total / base.total,
+            }
+    return AreaFigure(normalized=normalized)

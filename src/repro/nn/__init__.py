@@ -1,0 +1,65 @@
+"""Minimal NumPy neural-network substrate.
+
+The paper's workloads (DCGAN, Improved GAN, SNGAN generators; FCN-8s
+upsampling heads) are normally expressed in PyTorch; this package provides
+the needed subset — convolution, transposed convolution, batch-norm,
+activations, pooling — as pure NumPy so the whole reproduction runs
+offline.  Layer weight layout follows the paper: ``(KH, KW, C_in, C_out)``;
+activations are batched ``(N, C, H, W)``.
+
+Modules intentionally implement inference only: the accelerator study
+evaluates forward passes of pre-trained-shaped networks, and weights are
+seeded synthetically (see DESIGN.md, substitutions).
+"""
+
+from repro.nn import functional
+from repro.nn.modules import (
+    Module,
+    Sequential,
+    Conv2d,
+    ConvTranspose2d,
+    BatchNorm2d,
+    ReLU,
+    LeakyReLU,
+    Tanh,
+    Sigmoid,
+    Identity,
+    Flatten,
+)
+from repro.nn.init import (
+    normal_init,
+    dcgan_init,
+    kaiming_init,
+    xavier_init,
+    bilinear_upsampling_kernel,
+)
+from repro.nn.quantize import (
+    QuantParams,
+    quantize_tensor,
+    dequantize_tensor,
+    symmetric_quant_params,
+)
+
+__all__ = [
+    "functional",
+    "Module",
+    "Sequential",
+    "Conv2d",
+    "ConvTranspose2d",
+    "BatchNorm2d",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Identity",
+    "Flatten",
+    "normal_init",
+    "dcgan_init",
+    "kaiming_init",
+    "xavier_init",
+    "bilinear_upsampling_kernel",
+    "QuantParams",
+    "quantize_tensor",
+    "dequantize_tensor",
+    "symmetric_quant_params",
+]

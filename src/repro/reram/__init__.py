@@ -1,0 +1,52 @@
+"""ReRAM device and crossbar circuit models.
+
+Functional (value-level) simulation of the PIM fabric all three designs
+share (paper Fig. 1):
+
+* :mod:`repro.reram.device` — 1T1R cell: conductance range, multi-level
+  programming grid.
+* :mod:`repro.reram.bitslice` — weight bit-slicing across cells and input
+  bit-serial streaming, with differential (positive/negative) columns.
+* :mod:`repro.reram.crossbar` — analog vector-matrix multiply with optional
+  conductance variation, read noise and a first-order IR-drop model.
+* :mod:`repro.reram.adc` — read circuit / integrate-and-fire quantization.
+* :mod:`repro.reram.shift_adder` — shift-and-add accumulation across input
+  bits and weight slices.
+* :mod:`repro.reram.program` — write-verify programming loop.
+* :mod:`repro.reram.pipeline` — the composed bit-accurate VMM used by the
+  accelerator designs; exactly reproduces integer matmul when the ADC has
+  full resolution.
+"""
+
+from repro.reram.device import ReRAMDeviceParams, conductance_grid
+from repro.reram.bitslice import (
+    WeightSlicing,
+    slice_weights,
+    reassemble_slices,
+    bit_serial_inputs,
+)
+from repro.reram.crossbar import CrossbarArray
+from repro.reram.adc import ADCParams, quantize_readout, exact_adc_bits
+from repro.reram.shift_adder import ShiftAdder
+from repro.reram.noise import NoiseModel
+from repro.reram.program import WriteVerifyProgrammer, ProgramResult
+from repro.reram.pipeline import CrossbarPipeline, PipelineResult
+
+__all__ = [
+    "ReRAMDeviceParams",
+    "conductance_grid",
+    "WeightSlicing",
+    "slice_weights",
+    "reassemble_slices",
+    "bit_serial_inputs",
+    "CrossbarArray",
+    "ADCParams",
+    "quantize_readout",
+    "exact_adc_bits",
+    "ShiftAdder",
+    "NoiseModel",
+    "WriteVerifyProgrammer",
+    "ProgramResult",
+    "CrossbarPipeline",
+    "PipelineResult",
+]

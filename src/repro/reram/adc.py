@@ -1,0 +1,88 @@
+"""Read circuit: ADC / integrate-and-fire quantization of column sums.
+
+After the analog readback, each column's integer partial sum passes through
+an ADC with ``bits`` resolution over ``[0, full_scale]``.  With
+``bits >= exact_adc_bits(rows, levels)`` the conversion is lossless, which
+is how the designs in the paper (and ISAAC-style pipelines generally) size
+their read circuits; smaller ADCs introduce the clipping/rounding the
+precision ablation explores.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class ADCParams:
+    """ADC configuration.
+
+    Attributes:
+        bits: output resolution.
+        full_scale: largest representable input value (integer domain);
+            values above it saturate.
+    """
+
+    bits: int
+    full_scale: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.bits, "bits")
+        check_positive_int(self.full_scale, "full_scale")
+
+    @property
+    def num_codes(self) -> int:
+        """``2^bits`` output codes."""
+        return 1 << self.bits
+
+    @property
+    def step(self) -> float:
+        """Quantization step in the integer input domain."""
+        return self.full_scale / (self.num_codes - 1)
+
+
+def exact_adc_bits(rows: int, num_levels: int) -> int:
+    """Resolution needed to read a column sum losslessly.
+
+    The worst-case binary-pulse column sum is ``rows * (num_levels - 1)``;
+    exactness needs ``ceil(log2(that + 1))`` bits.
+    """
+    check_positive_int(rows, "rows")
+    check_positive_int(num_levels, "num_levels")
+    return max(1, math.ceil(math.log2(rows * (num_levels - 1) + 1)))
+
+
+def quantize_readout(sums: np.ndarray, params: ADCParams | None) -> np.ndarray:
+    """Quantize integer column sums through the ADC transfer function.
+
+    ``params=None`` models a full-resolution read circuit (lossless).
+    Otherwise values are clipped to ``[0, full_scale]`` and rounded to the
+    nearest of the ``2^bits`` codes, then mapped back to the integer
+    domain — i.e. the returned array is the *reconstructed* sum, directly
+    comparable to the exact one.
+    """
+    sums = np.asarray(sums)
+    if params is None:
+        return sums.astype(np.int64)
+    if params.num_codes - 1 >= params.full_scale:
+        # Enough codes to represent every integer exactly: only saturation.
+        return np.clip(sums, 0, params.full_scale).astype(np.int64)
+    clipped = np.clip(sums, 0, params.full_scale).astype(np.float64)
+    codes = np.rint(clipped / params.step)
+    return np.rint(codes * params.step).astype(np.int64)
+
+
+def adc_for_crossbar(rows: int, num_levels: int, bits: int | None = None) -> ADCParams:
+    """Convenience constructor sized for a crossbar's worst-case sum."""
+    full_scale = rows * (num_levels - 1)
+    if bits is None:
+        bits = exact_adc_bits(rows, num_levels)
+    if full_scale < 1:
+        raise ParameterError("crossbar with zero dynamic range")
+    return ADCParams(bits=bits, full_scale=full_scale)

@@ -1,0 +1,77 @@
+"""Non-ideality models for the analog crossbar path.
+
+The paper evaluates ideal arrays (NeuroSim+ is an estimator, not a SPICE
+deck); this module adds the standard degradation knobs so the reproduction
+can run sensitivity studies: programming variation (lognormal conductance
+perturbation), stuck-at faults, additive read noise, and a flag enabling
+the crossbar's first-order IR-drop model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.utils.validation import check_probability
+
+
+@dataclass
+class NoiseModel:
+    """Configuration + RNG for crossbar non-idealities.
+
+    Attributes:
+        programming_sigma: relative lognormal sigma of programmed
+            conductance (0 disables).
+        read_noise_sigma: additive Gaussian current noise, relative to the
+            per-call RMS current (0 disables).
+        stuck_at_rate: fraction of cells stuck at a random extreme level.
+        ir_drop: enable the crossbar's first-order IR-drop attenuation.
+        seed: RNG seed; a fresh generator is derived per operation so
+            repeated calls are reproducible.
+    """
+
+    programming_sigma: float = 0.0
+    read_noise_sigma: float = 0.0
+    stuck_at_rate: float = 0.0
+    ir_drop: bool = False
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.programming_sigma < 0 or self.read_noise_sigma < 0:
+            raise ParameterError("noise sigmas must be non-negative")
+        check_probability(self.stuck_at_rate, "stuck_at_rate")
+        self._rng = np.random.default_rng(self.seed)
+
+    def apply_programming(
+        self, conductance: np.ndarray, device: "ReRAMDeviceParams"
+    ) -> np.ndarray:
+        """Perturb programmed conductances; clip to the device window."""
+        g = conductance.astype(np.float64, copy=True)
+        if self.programming_sigma > 0.0:
+            factor = self._rng.lognormal(
+                mean=0.0, sigma=self.programming_sigma, size=g.shape
+            )
+            g = g * factor
+        if self.stuck_at_rate > 0.0:
+            stuck = self._rng.random(g.shape) < self.stuck_at_rate
+            extremes = self._rng.choice(
+                [device.g_min, device.g_max], size=g.shape
+            )
+            g = np.where(stuck, extremes, g)
+        return np.clip(g, device.g_min, device.g_max)
+
+    def apply_read(self, currents: np.ndarray) -> np.ndarray:
+        """Add relative Gaussian read noise to column currents."""
+        if self.read_noise_sigma <= 0.0:
+            return currents
+        rms = float(np.sqrt(np.mean(currents**2))) or 1e-12
+        return currents + self._rng.normal(
+            0.0, self.read_noise_sigma * rms, size=currents.shape
+        )
+
+
+# Imported late to avoid a cycle (device does not know about noise).
+from repro.reram.device import ReRAMDeviceParams  # noqa: E402  (docs type only)

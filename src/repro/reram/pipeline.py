@@ -1,0 +1,151 @@
+"""The composed bit-accurate crossbar VMM pipeline.
+
+One :class:`CrossbarPipeline` implements a signed integer matrix
+``W (rows x cols)`` as differential, bit-sliced crossbar tiles and
+evaluates ``x @ W`` for unsigned integer activations via bit-serial pulses,
+ADC readout and shift-add recombination — the arithmetic shared by the
+zero-padding, padding-free and RED designs.  With full-resolution ADCs the
+result equals the integer matmul *exactly* (property-tested); reduced ADC
+bits or an active noise model degrade it measurably, which the precision
+ablation sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.reram.adc import ADCParams, adc_for_crossbar, quantize_readout
+from repro.reram.bitslice import WeightSlicing, bit_serial_inputs, slice_weights
+from repro.reram.crossbar import CrossbarArray
+from repro.reram.device import ReRAMDeviceParams
+from repro.reram.noise import NoiseModel
+from repro.reram.shift_adder import ShiftAdder
+
+
+@dataclass
+class PipelineActivity:
+    """Work counters accumulated across pipeline evaluations."""
+
+    input_pulses: int = 0
+    adc_conversions: int = 0
+    shift_add_ops: int = 0
+    matvecs: int = 0
+
+    def merge(self, other: "PipelineActivity") -> None:
+        """Add another activity record into this one."""
+        self.input_pulses += other.input_pulses
+        self.adc_conversions += other.adc_conversions
+        self.shift_add_ops += other.shift_add_ops
+        self.matvecs += other.matvecs
+
+
+@dataclass
+class PipelineResult:
+    """Output of a pipeline evaluation: values plus the work performed."""
+
+    values: np.ndarray
+    activity: PipelineActivity = field(default_factory=PipelineActivity)
+
+
+class CrossbarPipeline:
+    """Differential bit-sliced crossbar implementation of an integer matrix.
+
+    Args:
+        weights: signed integer matrix ``(rows, cols)``.
+        slicing: weight precision / cell-slicing configuration.
+        bits_input: activation precision (unsigned).
+        device: ReRAM cell parameters.
+        adc_bits: ADC resolution; ``None`` sizes it for lossless readout.
+        noise: optional non-ideality model (forces the analog path).
+        analog: evaluate through Kirchhoff currents (True) or digitally
+            (False).  Both are bit-exact in the ideal case.
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        slicing: WeightSlicing | None = None,
+        bits_input: int = 8,
+        device: ReRAMDeviceParams | None = None,
+        adc_bits: int | None = None,
+        noise: NoiseModel | None = None,
+        analog: bool = False,
+    ) -> None:
+        weights = np.asarray(weights)
+        if weights.ndim != 2:
+            raise ShapeError(f"weights must be 2-D, got ndim={weights.ndim}")
+        self.slicing = slicing or WeightSlicing()
+        self.bits_input = bits_input
+        self.device = device or ReRAMDeviceParams(bits_per_cell=self.slicing.bits_per_cell)
+        if self.device.bits_per_cell != self.slicing.bits_per_cell:
+            raise ShapeError(
+                "device bits_per_cell must match slicing "
+                f"({self.device.bits_per_cell} != {self.slicing.bits_per_cell})"
+            )
+        self.noise = noise
+        self.analog = analog or noise is not None
+        self.rows, self.cols = weights.shape
+
+        pos_digits, neg_digits = slice_weights(weights, self.slicing)
+        self._tiles_pos = [
+            CrossbarArray(pos_digits[:, :, d], self.device, noise)
+            for d in range(self.slicing.num_slices)
+        ]
+        self._tiles_neg = [
+            CrossbarArray(neg_digits[:, :, d], self.device, noise)
+            for d in range(self.slicing.num_slices)
+        ]
+        self.adc: ADCParams | None = (
+            adc_for_crossbar(self.rows, self.device.num_levels, adc_bits)
+            if adc_bits is not None
+            else None
+        )
+
+    @property
+    def num_slices(self) -> int:
+        """Digit planes per weight (each has a +/- crossbar pair)."""
+        return self.slicing.num_slices
+
+    def _read_tile(self, tile: CrossbarArray, pulses: np.ndarray) -> np.ndarray:
+        if self.analog:
+            raw = tile.digit_sums(pulses)
+        else:
+            raw = tile.ideal_digit_sums(pulses)
+        return quantize_readout(raw, self.adc)
+
+    def matvec(self, x: np.ndarray) -> PipelineResult:
+        """Evaluate ``x @ W`` for one unsigned integer activation vector."""
+        x = np.asarray(x)
+        if x.shape != (self.rows,):
+            raise ShapeError(f"activation must be ({self.rows},), got {x.shape}")
+        planes = bit_serial_inputs(x, self.bits_input)
+        adder = ShiftAdder()
+        activity = PipelineActivity(matvecs=1)
+        for b in range(self.bits_input):
+            pulses = planes[b]
+            activity.input_pulses += int(pulses.sum())
+            for d in range(self.num_slices):
+                pos = self._read_tile(self._tiles_pos[d], pulses)
+                neg = self._read_tile(self._tiles_neg[d], pulses)
+                activity.adc_conversions += 2 * self.cols
+                adder.accumulate_signed(
+                    pos, neg, shift=b + d * self.slicing.bits_per_cell
+                )
+        activity.shift_add_ops = adder.operations
+        return PipelineResult(values=adder.value, activity=activity)
+
+    def matmul(self, x: np.ndarray) -> PipelineResult:
+        """Evaluate ``X @ W`` row by row for ``X (n, rows)``."""
+        x = np.asarray(x)
+        if x.ndim != 2 or x.shape[1] != self.rows:
+            raise ShapeError(f"X must be (n, {self.rows}), got {x.shape}")
+        outs = np.empty((x.shape[0], self.cols), dtype=np.int64)
+        activity = PipelineActivity()
+        for i, row in enumerate(x):
+            result = self.matvec(row)
+            outs[i] = result.values
+            activity.merge(result.activity)
+        return PipelineResult(values=outs, activity=activity)

@@ -1,0 +1,7 @@
+"""Cycle-level simulation utilities: counters, traces, instrumented runs."""
+
+from repro.sim.counters import CounterSet
+from repro.sim.trace import Trace, TraceEvent
+from repro.sim.engine import CycleEngine, InstrumentedRun
+
+__all__ = ["CounterSet", "Trace", "TraceEvent", "CycleEngine", "InstrumentedRun"]

@@ -1,0 +1,47 @@
+"""Named activity counters shared by the simulators."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator
+
+
+class CounterSet:
+    """A bag of named monotonically-increasing integer counters.
+
+    Used by the cycle engine to tally activity (sub-crossbar operations,
+    buffer reads, conversions) that the performance model cross-checks
+    against its closed-form counts.
+    """
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = defaultdict(int)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment ``name`` by ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self._counts[name] += amount
+
+    def get(self, name: str) -> int:
+        """Current value of ``name`` (0 if never incremented)."""
+        return self._counts.get(name, 0)
+
+    def merge(self, other: "CounterSet") -> None:
+        """Add every counter of ``other`` into this set."""
+        for name, value in other._counts.items():
+            self._counts[name] += value
+
+    def as_dict(self) -> dict[str, int]:
+        """Snapshot of all counters."""
+        return dict(self._counts)
+
+    def __iter__(self) -> Iterator[tuple[str, int]]:
+        return iter(sorted(self._counts.items()))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counts
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self)
+        return f"CounterSet({inner})"

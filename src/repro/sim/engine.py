@@ -1,0 +1,102 @@
+"""Instrumented cycle-level execution of the RED schedule.
+
+:class:`CycleEngine` replays the zero-skipping schedule against a (folded)
+sub-crossbar tensor while recording a :class:`Trace` and a
+:class:`CounterSet` — the observable the performance model's closed-form
+counts are validated against (``tests/integration``).  The arithmetic is
+identical to :meth:`repro.core.red_design.REDDesign.run_cycle_accurate`;
+this engine adds observability rather than a second semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataflow import ZeroSkippingSchedule
+from repro.core.fold import fold_sct
+from repro.core.mapping import build_sct
+from repro.deconv.modes import decompose_modes
+from repro.deconv.shapes import DeconvSpec
+from repro.errors import ShapeError
+from repro.sim.counters import CounterSet
+from repro.sim.trace import Trace
+
+
+@dataclass
+class InstrumentedRun:
+    """Output of an engine run: values plus observability artifacts."""
+
+    output: np.ndarray
+    cycles: int
+    counters: CounterSet
+    trace: Trace
+
+
+class CycleEngine:
+    """Replays the RED schedule with tracing enabled.
+
+    Args:
+        spec: layer specification.
+        fold: Eq. 2 interleave factor.
+        trace_limit: maximum retained trace events.
+    """
+
+    def __init__(self, spec: DeconvSpec, fold: int = 1, trace_limit: int = 100_000) -> None:
+        self.spec = spec
+        self.fold = fold
+        self.schedule = ZeroSkippingSchedule(spec)
+        self.trace_limit = trace_limit
+
+    def run(self, x: np.ndarray, w: np.ndarray) -> InstrumentedRun:
+        """Execute the layer, recording per-cycle events."""
+        spec = self.spec
+        if tuple(x.shape) != spec.input_shape:
+            raise ShapeError(f"input shape {x.shape} != spec {spec.input_shape}")
+        if tuple(w.shape) != spec.kernel_shape:
+            raise ShapeError(f"kernel shape {w.shape} != spec {spec.kernel_shape}")
+        folded = fold_sct(build_sct(w.astype(np.float64, copy=False), spec), self.fold)
+        modes = decompose_modes(spec)
+        tap_mode = {
+            kh * spec.kernel_width + kw: idx
+            for idx, mode in enumerate(modes)
+            for kh, kw in mode.taps
+        }
+        c = spec.in_channels
+        out = np.zeros(spec.output_shape, dtype=np.float64)
+        counters = CounterSet()
+        trace = Trace(max_events=self.trace_limit)
+        cycle_index = 0
+        for slot in self.schedule.cycles():
+            mode_target = {mode: (oy, ox) for oy, ox, mode in slot.outputs}
+            for pixel in slot.distinct_inputs:
+                trace.record(cycle_index, "input_fetch", pixel)
+                counters.add("buffer_reads")
+            for f in range(self.fold):
+                for n, slots in enumerate(folded.tap_slots):
+                    tap = slots[f]
+                    if tap is None:
+                        continue
+                    kh, kw = divmod(tap, spec.kernel_width)
+                    pixel = slot.assignments.get((kh, kw))
+                    if pixel is None:
+                        counters.add("sc_idle")
+                        continue
+                    target = mode_target.get(tap_mode[tap])
+                    if target is None:
+                        counters.add("sc_idle")
+                        continue
+                    vector = np.zeros(folded.rows_per_sc, dtype=np.float64)
+                    vector[f * c : (f + 1) * c] = x[pixel[0], pixel[1], :]
+                    out[target[0], target[1], :] += vector @ folded.data[:, :, n]
+                    counters.add("sc_fire")
+                    counters.add("live_rows", c)
+                    trace.record(cycle_index, "sc_fire", (n, f, tap, *pixel))
+                cycle_index += 1
+            for oy, ox, mode in slot.outputs:
+                trace.record(cycle_index - 1, "output_write", (oy, ox, mode))
+                counters.add("output_pixels")
+        return InstrumentedRun(
+            output=out, cycles=cycle_index, counters=counters, trace=trace
+        )

@@ -1,0 +1,59 @@
+"""Execution tracing for cycle-level runs.
+
+A :class:`Trace` records :class:`TraceEvent` entries (bounded, oldest
+dropped) describing what happened each cycle — which sub-crossbars fired,
+which input pixels were fetched, which outputs were produced.  Used by the
+debugging example and the schedule-equivalence tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced occurrence.
+
+    Attributes:
+        cycle: compute round index.
+        kind: event category, e.g. ``"sc_fire"``, ``"input_fetch"``,
+            ``"output_write"``.
+        detail: free-form payload (tap indices, pixel coordinates, ...).
+    """
+
+    cycle: int
+    kind: str
+    detail: tuple
+
+    def __str__(self) -> str:
+        return f"[{self.cycle:>6}] {self.kind}: {self.detail}"
+
+
+@dataclass
+class Trace:
+    """Bounded event log."""
+
+    max_events: int = 100_000
+    _events: deque = field(default_factory=deque, repr=False)
+
+    def record(self, cycle: int, kind: str, detail: Iterable) -> None:
+        """Append an event, evicting the oldest when full."""
+        if len(self._events) >= self.max_events:
+            self._events.popleft()
+        self._events.append(TraceEvent(cycle=cycle, kind=kind, detail=tuple(detail)))
+
+    def events(self, kind: str | None = None) -> Iterator[TraceEvent]:
+        """Iterate events, optionally filtered by ``kind``."""
+        for event in self._events:
+            if kind is None or event.kind == kind:
+                yield event
+
+    def count(self, kind: str | None = None) -> int:
+        """Number of (matching) events."""
+        return sum(1 for _ in self.events(kind))
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -1,0 +1,85 @@
+"""Fixed chip provisioning across a set of layers.
+
+Fig. 9's "similar area overhead (+21.41%) for all the layers" only makes
+sense at the *chip* level: one accelerator is provisioned once (sized by
+its most demanding layer per resource class) and every layer then runs on
+that same silicon.  :func:`provision_chip` computes that view: per-design
+chip area as the component-wise maximum over the layers' per-layer
+breakdowns, plus per-layer utilization of the provisioned resources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.breakdown import AreaBreakdown
+from repro.errors import ParameterError
+from repro.system.network_mapper import NetworkEvaluation
+
+
+@dataclass(frozen=True)
+class ChipProvision:
+    """A design's provisioned chip over a set of layers.
+
+    Attributes:
+        design: design name.
+        area: component-wise maximum area breakdown over the layers.
+        per_layer_utilization: layer name -> fraction of the provisioned
+            total area that the layer's own requirement occupies.
+    """
+
+    design: str
+    area: AreaBreakdown
+    per_layer_utilization: dict[str, float]
+
+    @property
+    def total_area(self) -> float:
+        """Provisioned chip area in square metres."""
+        return self.area.total
+
+    def overhead_over(self, baseline: "ChipProvision") -> float:
+        """Fractional chip-area overhead vs another provision."""
+        return self.total_area / baseline.total_area - 1.0
+
+
+def provision_chip(
+    evaluation: NetworkEvaluation, design: str, mode: str = "time-multiplexed"
+) -> ChipProvision:
+    """Provision one design's chip for every layer of an evaluation.
+
+    Two provisioning disciplines:
+
+    * ``"time-multiplexed"`` — one layer resident at a time (weights are
+      reprogrammed between layers): each resource class is sized by its
+      *maximum* over the layers.
+    * ``"pipelined"`` — every layer's weights stay resident so samples
+      stream through all stages concurrently (the PipeLayer/ReGAN style
+      required by :func:`repro.system.pipeline.pipeline_network`): each
+      resource class is the *sum* over the layers.
+    """
+    if design not in evaluation.metrics:
+        raise ParameterError(
+            f"design {design!r} not in evaluation ({sorted(evaluation.metrics)})"
+        )
+    if mode not in ("time-multiplexed", "pipelined"):
+        raise ParameterError(
+            f"mode must be 'time-multiplexed' or 'pipelined', got {mode!r}"
+        )
+    layer_areas = {
+        name: metrics.area for name, metrics in evaluation.metrics[design].items()
+    }
+    if not layer_areas:
+        raise ParameterError("evaluation holds no layers")
+    component_names = next(iter(layer_areas.values())).as_dict().keys()
+    combine = max if mode == "time-multiplexed" else sum
+    combined = {
+        component: combine(area.as_dict()[component] for area in layer_areas.values())
+        for component in component_names
+    }
+    provisioned = AreaBreakdown(**combined)
+    utilization = {
+        name: area.total / provisioned.total for name, area in layer_areas.items()
+    }
+    return ChipProvision(
+        design=design, area=provisioned, per_layer_utilization=utilization
+    )

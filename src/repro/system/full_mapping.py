@@ -1,0 +1,156 @@
+"""Full-network PIM mapping: convolution AND deconvolution layers.
+
+:mod:`repro.system.network_mapper` covers the deconvolution layers the
+paper benchmarks; real networks interleave them with plain convolutions
+(FCN encoders, to-RGB heads).  This module walks the whole network and
+assigns every spatial layer a PIM design — :class:`ConvolutionDesign`
+(Fig. 1b) for convolutions, the chosen deconvolution design for
+transposed convolutions — giving end-to-end accelerator numbers for a
+complete model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.breakdown import DesignMetrics
+from repro.arch.tech import TechnologyParams, default_tech
+from repro.deconv.shapes import DeconvSpec
+from repro.designs.conv_design import ConvolutionDesign, ConvSpec
+from repro.errors import ShapeError
+from repro.eval.harness import build_design
+from repro.nn.modules import BatchNorm2d, Conv2d, ConvTranspose2d, Identity, Module, Sequential
+from repro.workloads.specs import BenchmarkLayer
+
+
+@dataclass(frozen=True)
+class MappedSpatialLayer:
+    """One spatial layer of a network with its PIM-relevant spec.
+
+    Attributes:
+        name: dotted module path.
+        kind: ``"conv"`` or ``"deconv"``.
+        conv_spec / deconv_spec: exactly one is set, per ``kind``.
+    """
+
+    name: str
+    kind: str
+    conv_spec: ConvSpec | None = None
+    deconv_spec: DeconvSpec | None = None
+
+    @property
+    def num_weights(self) -> int:
+        """Scalar weights stored on the array for this layer."""
+        spec = self.conv_spec if self.kind == "conv" else self.deconv_spec
+        return spec.num_weights
+
+
+def _walk_all(
+    module: Module, prefix: str, height: int, width: int,
+    found: list[MappedSpatialLayer],
+) -> tuple[int, int]:
+    if isinstance(module, Sequential):
+        for index, layer in enumerate(module.layers):
+            height, width = _walk_all(layer, f"{prefix}{index}.", height, width, found)
+        return height, width
+    if isinstance(module, ConvTranspose2d):
+        spec = module.deconv_spec(height, width)
+        found.append(
+            MappedSpatialLayer(name=prefix.rstrip("."), kind="deconv", deconv_spec=spec)
+        )
+        return spec.output_height, spec.output_width
+    if isinstance(module, Conv2d):
+        spec = ConvSpec(
+            input_height=height, input_width=width,
+            in_channels=module.in_channels,
+            kernel_height=module.kernel_size, kernel_width=module.kernel_size,
+            out_channels=module.out_channels,
+            stride=module.stride, padding=module.padding,
+        )
+        found.append(
+            MappedSpatialLayer(name=prefix.rstrip("."), kind="conv", conv_spec=spec)
+        )
+        return spec.output_height, spec.output_width
+    if isinstance(module, (BatchNorm2d, Identity)) or not module._children:
+        return height, width
+    for name, child in module._children.items():
+        height, width = _walk_all(child, f"{prefix}{name}.", height, width, found)
+    return height, width
+
+
+def extract_spatial_layers(
+    network: Module, input_height: int, input_width: int
+) -> list[MappedSpatialLayer]:
+    """All conv/deconv layers of a *sequential-topology* network.
+
+    Networks with skip connections (FCN8s) have data-dependent fan-in the
+    walker cannot follow; for those, extract per-branch sub-modules.
+    """
+    found: list[MappedSpatialLayer] = []
+    _walk_all(network, "", input_height, input_width, found)
+    if not found:
+        raise ShapeError("network contains no spatial layers")
+    return found
+
+
+@dataclass
+class FullNetworkEvaluation:
+    """Per-layer metrics over conv + deconv layers for one deconv design.
+
+    Attributes:
+        layers: the spatial layers in execution order.
+        metrics: layer name -> DesignMetrics.
+        deconv_design: the design used for the deconvolution layers
+            (convolutions always use the Fig. 1b mapping).
+    """
+
+    layers: list[MappedSpatialLayer]
+    metrics: dict[str, DesignMetrics]
+    deconv_design: str
+
+    @property
+    def total_latency(self) -> float:
+        """Seconds over every spatial layer."""
+        return sum(m.latency.total for m in self.metrics.values())
+
+    @property
+    def total_energy(self) -> float:
+        """Joules over every spatial layer."""
+        return sum(m.energy.total for m in self.metrics.values())
+
+    @property
+    def deconv_latency_share(self) -> float:
+        """Fraction of total latency spent in deconvolution layers."""
+        deconv = sum(
+            self.metrics[l.name].latency.total
+            for l in self.layers
+            if l.kind == "deconv"
+        )
+        return deconv / self.total_latency
+
+
+def evaluate_full_network(
+    network: Module,
+    input_height: int = 1,
+    input_width: int = 1,
+    deconv_design: str = "RED",
+    tech: TechnologyParams | None = None,
+) -> FullNetworkEvaluation:
+    """Map every spatial layer of a network onto PIM designs."""
+    tech = tech or default_tech()
+    layers = extract_spatial_layers(network, input_height, input_width)
+    metrics: dict[str, DesignMetrics] = {}
+    for layer in layers:
+        if layer.kind == "conv":
+            design = ConvolutionDesign(layer.conv_spec, tech)
+            metrics[layer.name] = design.evaluate(layer.name)
+        else:
+            shim = BenchmarkLayer(
+                name=layer.name, network="", dataset="", spec=layer.deconv_spec
+            )
+            metrics[layer.name] = build_design(deconv_design, shim, tech).evaluate(
+                layer.name
+            )
+    return FullNetworkEvaluation(
+        layers=layers, metrics=metrics, deconv_design=deconv_design
+    )

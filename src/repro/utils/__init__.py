@@ -1,0 +1,31 @@
+"""Small shared helpers: validation, formatting, unit handling."""
+
+from repro.utils.validation import (
+    check_positive_int,
+    check_non_negative_int,
+    check_positive_float,
+    check_probability,
+    check_in_choices,
+)
+from repro.utils.formatting import (
+    format_engineering,
+    format_seconds,
+    format_joules,
+    format_area,
+    format_ratio,
+    render_ascii_table,
+)
+
+__all__ = [
+    "check_positive_int",
+    "check_non_negative_int",
+    "check_positive_float",
+    "check_probability",
+    "check_in_choices",
+    "format_engineering",
+    "format_seconds",
+    "format_joules",
+    "format_area",
+    "format_ratio",
+    "render_ascii_table",
+]

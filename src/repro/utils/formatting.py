@@ -1,0 +1,86 @@
+"""Human-readable formatting of physical quantities and ASCII tables.
+
+The evaluation harness reports seconds, joules and square metres spanning
+many orders of magnitude; these helpers render them with engineering
+prefixes the way architecture papers do (ns, nJ, mm^2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_PREFIXES = (
+    (1e-15, 1e-12, "f"),
+    (1e-12, 1e-9, "p"),
+    (1e-9, 1e-6, "n"),
+    (1e-6, 1e-3, "u"),
+    (1e-3, 1.0, "m"),
+    (1.0, 1e3, ""),
+    (1e3, 1e6, "k"),
+    (1e6, 1e9, "M"),
+    (1e9, 1e12, "G"),
+)
+
+
+def format_engineering(value: float, unit: str, digits: int = 3) -> str:
+    """Format ``value`` with an SI engineering prefix, e.g. ``1.23 nJ``."""
+    if value == 0.0:
+        return f"0 {unit}"
+    magnitude = abs(value)
+    for low, high, prefix in _PREFIXES:
+        if low <= magnitude < high:
+            return f"{value / low:.{digits}g} {prefix}{unit}"
+    return f"{value:.{digits}g} {unit}"
+
+
+def format_seconds(value: float) -> str:
+    """Format a latency in seconds, e.g. ``128 ns``."""
+    return format_engineering(value, "s")
+
+
+def format_joules(value: float) -> str:
+    """Format an energy in joules, e.g. ``3.2 uJ``."""
+    return format_engineering(value, "J")
+
+
+def format_area(value_m2: float) -> str:
+    """Format an area in square metres as mm^2 (the customary paper unit)."""
+    return f"{value_m2 * 1e6:.4g} mm^2"
+
+
+def format_ratio(value: float) -> str:
+    """Format a dimensionless ratio, e.g. speedups, as ``3.69x``."""
+    return f"{value:.2f}x"
+
+
+def render_ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a list of rows as a fixed-width ASCII table.
+
+    Cells are converted with ``str``; columns are sized to their widest
+    entry.  Used by every benchmark harness to print paper-style tables.
+    """
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    all_rows = [list(headers)] + str_rows
+    widths = [
+        max(len(row[col]) for row in all_rows) for col in range(len(headers))
+    ]
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        padded = [cell.ljust(width) for cell, width in zip(cells, widths)]
+        return "| " + " | ".join(padded) + " |"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(fmt_row(row))
+    lines.append(sep)
+    return "\n".join(lines)

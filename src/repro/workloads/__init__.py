@@ -1,0 +1,47 @@
+"""Benchmark workloads: Table I layer specs and their source networks."""
+
+from repro.workloads.specs import (
+    BenchmarkLayer,
+    TABLE_I_LAYERS,
+    get_layer,
+    layer_names,
+)
+from repro.workloads.networks import (
+    DCGANGenerator,
+    ImprovedGANGenerator,
+    SNGANGenerator,
+    FCN8sDecoder,
+    build_network,
+    NETWORK_BUILDERS,
+)
+from repro.workloads.full_networks import (
+    FCN8s,
+    DCGANDiscriminator,
+    gan_round_trip,
+)
+from repro.workloads.data import (
+    latent_batch,
+    feature_map_batch,
+    layer_input,
+    layer_kernel,
+)
+
+__all__ = [
+    "BenchmarkLayer",
+    "TABLE_I_LAYERS",
+    "get_layer",
+    "layer_names",
+    "DCGANGenerator",
+    "ImprovedGANGenerator",
+    "SNGANGenerator",
+    "FCN8sDecoder",
+    "FCN8s",
+    "DCGANDiscriminator",
+    "gan_round_trip",
+    "build_network",
+    "NETWORK_BUILDERS",
+    "latent_batch",
+    "feature_map_batch",
+    "layer_input",
+    "layer_kernel",
+]

@@ -1,0 +1,147 @@
+"""Band tests: the calibrated model must reproduce the paper's shape.
+
+These tests assert the relative results of Sec. IV against the bands in
+:mod:`repro.eval.paper_targets`.  They are the contract that any change to
+the technology constants must preserve.
+"""
+
+import pytest
+
+from repro.eval.figures import fig4_redundancy_curves, fig7_latency, fig8_energy, fig9_area
+from repro.eval.harness import run_grid
+from repro.eval.paper_targets import PAPER_TARGETS
+
+GAN_LAYERS = ("GAN_Deconv1", "GAN_Deconv2", "GAN_Deconv3", "GAN_Deconv4")
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return run_grid()
+
+
+@pytest.fixture(scope="module")
+def latency(grid):
+    return fig7_latency(grid)
+
+
+@pytest.fixture(scope="module")
+def energy(grid):
+    return fig8_energy(grid)
+
+
+class TestFig4Bands:
+    def test_sngan_stride2(self):
+        curves = fig4_redundancy_curves()
+        value = dict(curves["SNGAN input:4x4"])[2]
+        assert PAPER_TARGETS["fig4_sngan_stride2"].contains(value)
+
+    def test_fcn_stride32(self):
+        curves = fig4_redundancy_curves()
+        value = dict(curves["FCN input:16x16"])[32]
+        assert PAPER_TARGETS["fig4_fcn_stride32"].contains(value)
+
+
+class TestSpeedupBands:
+    def test_red_wins_every_layer(self, latency):
+        for layer, row in latency.speedup.items():
+            assert row["RED"] > 1.0, layer
+
+    def test_stride2_speedups_near_4x(self, latency):
+        band = PAPER_TARGETS["speedup_min"]
+        for layer in GAN_LAYERS + ("FCN_Deconv1",):
+            assert band.contains(latency.speedup[layer]["RED"]), layer
+
+    def test_fcn2_speedup_near_31x(self, latency):
+        band = PAPER_TARGETS["speedup_max"]
+        assert band.contains(latency.speedup["FCN_Deconv2"]["RED"])
+
+    def test_zero_padding_slower_than_padding_free_on_gans(self, latency):
+        band = PAPER_TARGETS["zp_over_pf_latency_gan"]
+        for layer in GAN_LAYERS:
+            assert band.contains(latency.speedup[layer]["padding-free"]), layer
+
+    def test_red_latency_reduction_range(self, grid):
+        band = PAPER_TARGETS["red_latency_reduction"]
+        for layer in grid.metrics:
+            red = grid.get(layer, "RED").latency.total
+            zp = grid.baseline(layer).latency.total
+            assert band.contains(1.0 - red / zp), layer
+
+    def test_red_breakdown_periphery_shrinks_with_cycles(self, latency):
+        """RED's periphery latency share of ZP total is ~1/stride^2."""
+        b = latency.breakdown["GAN_Deconv1"]
+        assert b["RED"]["periphery"] < 0.5 * b["zero-padding"]["periphery"]
+
+
+class TestEnergyBands:
+    def test_red_saves_on_every_layer(self, energy):
+        for layer, row in energy.saving.items():
+            assert row["RED"] > 0.0, layer
+
+    def test_min_saving_band(self, energy):
+        band = PAPER_TARGETS["energy_saving_min"]
+        assert band.contains(min(row["RED"] for row in energy.saving.values()))
+
+    def test_max_saving_band_on_fcn2(self, energy):
+        band = PAPER_TARGETS["energy_saving_max"]
+        saving = energy.saving["FCN_Deconv2"]["RED"]
+        assert saving == max(row["RED"] for row in energy.saving.values())
+        assert band.contains(saving)
+
+    def test_pf_array_energy_band_on_gans(self, energy):
+        band = PAPER_TARGETS["pf_array_energy_gan"]
+        for layer in GAN_LAYERS:
+            assert band.contains(energy.array_ratio[layer]["padding-free"]), layer
+
+    def test_pf_total_energy_worst_on_gans(self, energy):
+        band = PAPER_TARGETS["pf_total_energy_gan_max"]
+        worst = max(energy.ratio[layer]["padding-free"] for layer in GAN_LAYERS)
+        assert band.contains(worst)
+
+    def test_red_array_similar_to_zero_padding(self, energy):
+        band = PAPER_TARGETS["red_array_similar"]
+        for layer in GAN_LAYERS + ("FCN_Deconv1",):
+            assert band.contains(energy.array_ratio[layer]["RED"]), layer
+
+    def test_gan_savings_below_fcn8x_saving(self, energy):
+        """The crossover the paper shows: stride-8 FCN benefits most."""
+        fcn2 = energy.saving["FCN_Deconv2"]["RED"]
+        for layer in GAN_LAYERS:
+            assert energy.saving[layer]["RED"] < fcn2
+
+
+class TestAreaBands:
+    def test_array_area_identical_across_designs(self, grid):
+        for layer in grid.metrics:
+            areas = {
+                design: grid.get(layer, design).area.computation
+                for design in grid.metrics[layer]
+            }
+            assert len({round(a, 18) for a in areas.values()}) == 1, layer
+
+    def test_red_area_overhead_on_gans(self, grid):
+        band = PAPER_TARGETS["red_area_overhead_gan"]
+        for layer in GAN_LAYERS:
+            overhead = grid.area_ratio(layer, "RED") - 1.0
+            assert band.contains(overhead), (layer, overhead)
+
+    def test_pf_area_overhead_gan1(self, grid):
+        band = PAPER_TARGETS["pf_area_overhead_gan1"]
+        assert band.contains(grid.area_ratio("GAN_Deconv1", "padding-free") - 1.0)
+
+    def test_pf_area_overhead_fcn2(self, grid):
+        band = PAPER_TARGETS["pf_area_overhead_fcn2"]
+        assert band.contains(grid.area_ratio("FCN_Deconv2", "padding-free") - 1.0)
+
+    def test_pf_fcn_overhead_exceeds_gan_overhead(self, grid):
+        """Fig. 9's contrast: PF periphery dominates in FCN, not GAN."""
+        gan = grid.area_ratio("GAN_Deconv1", "padding-free")
+        fcn = grid.area_ratio("FCN_Deconv2", "padding-free")
+        assert fcn > gan
+
+    def test_fig9_normalization(self, grid):
+        fig = fig9_area(grid)
+        for layer, designs in fig.normalized.items():
+            zp = designs["zero-padding"]
+            assert zp["total"] == pytest.approx(1.0)
+            assert zp["array"] + zp["periphery"] == pytest.approx(1.0)

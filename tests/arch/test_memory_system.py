@@ -1,0 +1,62 @@
+"""Tests for the buffer-traffic overlay."""
+
+import pytest
+
+from repro.arch.memory_system import (
+    padding_free_traffic,
+    red_traffic,
+    traffic_for,
+    zero_padding_traffic,
+)
+from repro.errors import ParameterError
+from repro.workloads.specs import get_layer
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return get_layer("GAN_Deconv3").spec
+
+
+class TestTrafficVolumes:
+    def test_zero_padding_reads_full_windows(self, spec):
+        t = zero_padding_traffic(spec)
+        assert t.input_bytes == spec.num_output_pixels * spec.num_kernel_taps * spec.in_channels
+        assert t.output_bytes == spec.num_output_pixels * spec.out_channels
+
+    def test_padding_free_writes_inflated_stream(self, spec):
+        t = padding_free_traffic(spec)
+        assert t.input_bytes == spec.num_input_pixels * spec.in_channels
+        assert t.output_bytes == (
+            spec.num_input_pixels * spec.num_kernel_taps * spec.out_channels
+        )
+        assert t.wasted_output_bytes > 0
+
+    def test_red_reads_less_than_zero_padding(self, spec):
+        """Zero-skipping removes the redundant window traffic."""
+        red = red_traffic(spec)
+        zp = zero_padding_traffic(spec)
+        assert red.input_bytes < zp.input_bytes / 4
+
+    def test_red_writes_exactly_the_output(self, spec):
+        t = red_traffic(spec)
+        assert t.output_bytes == spec.num_output_pixels * spec.out_channels
+        assert t.wasted_output_bytes == 0
+
+    def test_red_input_reuse_bound(self, spec):
+        """Distinct reads cannot exceed one pixel per SC per block."""
+        t = red_traffic(spec)
+        blocks = (spec.output_height // spec.stride) * (spec.output_width // spec.stride)
+        assert t.input_bytes <= blocks * spec.num_kernel_taps * spec.in_channels
+
+    def test_bytes_per_value_scales(self, spec):
+        one = traffic_for("RED", spec, bytes_per_value=1)
+        two = traffic_for("RED", spec, bytes_per_value=2)
+        assert two.total_bytes == 2 * one.total_bytes
+
+    def test_energy_proportional_to_bytes(self, spec):
+        t = traffic_for("zero-padding", spec)
+        assert t.energy == pytest.approx(t.total_bytes * 1.0e-12)
+
+    def test_unknown_design_rejected(self, spec):
+        with pytest.raises(ParameterError):
+            traffic_for("gpu", spec)

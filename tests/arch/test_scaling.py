@@ -1,0 +1,74 @@
+"""Tests for technology-node scaling."""
+
+import pytest
+
+from repro.arch.scaling import NODE_VDD, node_sweep, scale_tech
+from repro.arch.tech import default_tech
+from repro.errors import ParameterError
+from repro.eval.harness import run_grid
+
+
+class TestScaling:
+    def test_identity_at_base_node(self):
+        scaled = scale_tech(node_m=65e-9)
+        base = default_tech()
+        assert scaled.e_adc == pytest.approx(base.e_adc)
+        assert scaled.t_adc == pytest.approx(base.t_adc)
+
+    def test_energy_shrinks_at_smaller_node(self):
+        t45 = scale_tech(node_m=45e-9)
+        base = default_tech()
+        assert t45.e_adc < base.e_adc
+        assert t45.e_dec_per_row < base.e_dec_per_row
+
+    def test_delay_shrinks_and_clock_rises(self):
+        t32 = scale_tech(node_m=32e-9)
+        base = default_tech()
+        assert t32.t_adc < base.t_adc
+        assert t32.clock_hz > base.clock_hz
+
+    def test_area_scales_quadratically(self):
+        t32 = scale_tech(node_m=32e-9)
+        base = default_tech()
+        ratio = (32 / 65) ** 2
+        assert t32.a_adc == pytest.approx(base.a_adc * ratio)
+        assert t32.cell_area_m2 == pytest.approx(base.cell_area_m2 * ratio)
+
+    def test_format_parameters_untouched(self):
+        t45 = scale_tech(node_m=45e-9)
+        base = default_tech()
+        assert t45.bits_input == base.bits_input
+        assert t45.mux_share == base.mux_share
+
+    def test_known_node_vdd(self):
+        assert scale_tech(node_m=45e-9).vdd == NODE_VDD[45e-9]
+
+    def test_rejects_bad_node(self):
+        with pytest.raises(ParameterError):
+            scale_tech(node_m=0.0)
+
+    def test_node_sweep_keys(self):
+        sweep = node_sweep((65e-9, 45e-9))
+        assert set(sweep) == {65e-9, 45e-9}
+
+
+class TestScalingInvariance:
+    def test_relative_results_invariant_under_scaling(self):
+        """Uniform scaling must not re-rank the designs."""
+        g65 = run_grid()
+        g45 = run_grid(tech=scale_tech(node_m=45e-9))
+        for layer in ("GAN_Deconv1", "FCN_Deconv2"):
+            assert g45.speedup(layer, "RED") == pytest.approx(
+                g65.speedup(layer, "RED"), rel=1e-6
+            )
+            assert g45.energy_saving(layer, "RED") == pytest.approx(
+                g65.energy_saving(layer, "RED"), rel=1e-6
+            )
+
+    def test_absolute_latency_improves(self):
+        g65 = run_grid()
+        g45 = run_grid(tech=scale_tech(node_m=45e-9))
+        assert (
+            g45.get("GAN_Deconv1", "RED").latency.total
+            < g65.get("GAN_Deconv1", "RED").latency.total
+        )

@@ -1,0 +1,46 @@
+"""Tests for physical subarray tiling."""
+
+import pytest
+
+from repro.arch.subarray import tile_logical_array
+
+
+class TestTiling:
+    def test_exact_fit(self):
+        tiling = tile_logical_array(256, 256)
+        assert tiling.row_tiles == 2
+        assert tiling.col_tiles == 2
+        assert tiling.num_subarrays == 4
+        assert tiling.utilization == 1.0
+
+    def test_partial_fit_rounds_up(self):
+        tiling = tile_logical_array(129, 1)
+        assert tiling.row_tiles == 2
+        assert tiling.col_tiles == 1
+
+    def test_utilization_below_one_when_padded(self):
+        tiling = tile_logical_array(100, 100)
+        assert tiling.utilization == pytest.approx(10000 / (128 * 128))
+
+    def test_occupied_cells(self):
+        tiling = tile_logical_array(300, 50)
+        assert tiling.occupied_cells == 15000
+        assert tiling.provisioned_cells == 3 * 1 * 128 * 128
+
+    def test_custom_macro_size(self):
+        tiling = tile_logical_array(100, 100, subarray_rows=64, subarray_cols=64)
+        assert tiling.num_subarrays == 4
+
+    def test_table1_designs_share_cell_count(self):
+        """All three designs of one layer occupy identical cell counts."""
+        from repro.workloads.specs import get_layer
+
+        spec = get_layer("GAN_Deconv1").spec
+        rows_zp = spec.num_kernel_taps * spec.in_channels
+        zp = tile_logical_array(rows_zp, spec.out_channels)
+        pf = tile_logical_array(spec.in_channels, spec.num_kernel_taps * spec.out_channels)
+        assert zp.occupied_cells == pf.occupied_cells
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(Exception):
+            tile_logical_array(0, 5)

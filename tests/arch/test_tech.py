@@ -1,0 +1,38 @@
+"""Tests for the technology parameter set."""
+
+import pytest
+
+from repro.arch.tech import TechnologyParams, default_tech
+from repro.errors import CalibrationError
+
+
+class TestDerived:
+    def test_default_slices(self):
+        tech = default_tech()
+        assert tech.num_slices == 4
+        assert tech.phys_cols_per_weight == 8
+
+    def test_non_differential_halves_columns(self):
+        tech = TechnologyParams(differential=False)
+        assert tech.phys_cols_per_weight == 4
+
+    def test_cell_area(self):
+        tech = default_tech()
+        assert tech.cell_area_m2 == pytest.approx(12 * (65e-9) ** 2)
+
+    def test_paper_operating_point(self):
+        tech = default_tech()
+        assert tech.clock_hz == 2e9
+        assert tech.feature_size_m == 65e-9
+
+    def test_with_overrides(self):
+        tech = default_tech().with_overrides(bits_input=4)
+        assert tech.bits_input == 4
+        assert default_tech().bits_input == 8  # original untouched
+
+    def test_indivisible_slicing_rejected(self):
+        with pytest.raises(CalibrationError):
+            TechnologyParams(bits_weight=8, bits_per_cell=3)
+
+    def test_default_is_singleton(self):
+        assert default_tech() is default_tech()

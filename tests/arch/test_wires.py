@@ -1,0 +1,54 @@
+"""Tests for the wire delay/energy model."""
+
+import pytest
+
+from repro.arch.tech import default_tech
+from repro.arch.wires import WireModel
+
+
+@pytest.fixture
+def wires():
+    return WireModel(default_tech())
+
+
+class TestLatency:
+    def test_wordline_delay_monotone(self, wires):
+        delays = [wires.wordline_delay(n) for n in (16, 256, 2048, 51200)]
+        assert delays == sorted(delays)
+
+    def test_wordline_delay_superlinear_at_scale(self, wires):
+        """Doubling a very wide array more than doubles the marginal delay
+        growth (the quadratic term dominating)."""
+        d1 = wires.wordline_delay(25600) - wires.wordline_delay(12800)
+        d2 = wires.wordline_delay(51200) - wires.wordline_delay(25600)
+        assert d2 > d1
+
+    def test_bitline_delay_linear(self, wires):
+        base = wires.bitline_delay(1)
+        assert wires.bitline_delay(1001) - wires.bitline_delay(501) == pytest.approx(
+            wires.bitline_delay(501) - base, rel=1e-9
+        )
+
+    def test_rejects_non_positive(self, wires):
+        with pytest.raises(Exception):
+            wires.wordline_delay(0)
+
+
+class TestEnergy:
+    def test_row_energy_quadratic_dominates_wide(self, wires):
+        """For padding-free-scale widths, energy per row grows superlinearly:
+        the paper's 'quadratic relation with the column number'."""
+        e_zp = wires.wordline_energy_per_row(2048)
+        e_pf = wires.wordline_energy_per_row(51200)
+        assert e_pf / e_zp > 25 * 2  # much worse than linear scaling
+
+    def test_row_energy_has_fixed_floor(self, wires):
+        tech = default_tech()
+        assert wires.wordline_energy_per_row(1) >= tech.e_wl_fixed
+
+    def test_bitline_energy_linear_in_cells(self, wires):
+        assert wires.bitline_energy(2000) == pytest.approx(2 * wires.bitline_energy(1000))
+
+    def test_bitline_energy_rejects_negative(self, wires):
+        with pytest.raises(ValueError):
+            wires.bitline_energy(-1)

@@ -1,0 +1,82 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.deconv.shapes import DeconvSpec
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for test data."""
+    return np.random.default_rng(1234)
+
+
+#: Hand-picked small specs covering stride/padding/output-padding corners.
+SMALL_SPECS = (
+    DeconvSpec(4, 4, 3, 3, 3, 2, stride=1, padding=0),
+    DeconvSpec(4, 4, 3, 3, 3, 2, stride=1, padding=1),
+    DeconvSpec(4, 4, 8, 4, 4, 5, stride=2, padding=1),
+    DeconvSpec(5, 3, 6, 5, 5, 4, stride=2, padding=2, output_padding=1),
+    DeconvSpec(3, 3, 4, 6, 6, 3, stride=3, padding=2, output_padding=1),
+    DeconvSpec(2, 5, 2, 2, 2, 3, stride=2, padding=0),
+    DeconvSpec(3, 3, 2, 2, 2, 2, stride=4, padding=0),  # kernel < stride
+    DeconvSpec(4, 4, 3, 8, 8, 2, stride=4, padding=2),
+    DeconvSpec(2, 2, 3, 16, 16, 2, stride=8, padding=0),
+)
+
+
+@pytest.fixture(params=SMALL_SPECS, ids=lambda s: s.describe())
+def small_spec(request) -> DeconvSpec:
+    """Parametrized fixture over the corner-case spec zoo."""
+    return request.param
+
+
+def random_operands(spec: DeconvSpec, seed: int = 0):
+    """Random (input, kernel) float tensors for a spec."""
+    gen = np.random.default_rng(seed)
+    x = gen.normal(size=spec.input_shape)
+    w = gen.normal(size=spec.kernel_shape)
+    return x, w
+
+
+def integer_operands(spec: DeconvSpec, seed: int = 0, bits_input: int = 8, bits_weight: int = 8):
+    """Random (input, kernel) integer tensors within the ReRAM format."""
+    gen = np.random.default_rng(seed)
+    x = gen.integers(0, 1 << bits_input, size=spec.input_shape)
+    w = gen.integers(-(1 << (bits_weight - 1)) + 1, 1 << (bits_weight - 1), size=spec.kernel_shape)
+    return x, w
+
+
+@st.composite
+def deconv_specs(
+    draw,
+    max_input: int = 5,
+    max_kernel: int = 5,
+    max_stride: int = 4,
+    max_channels: int = 4,
+) -> DeconvSpec:
+    """Hypothesis strategy generating valid small DeconvSpecs."""
+    from hypothesis import assume
+
+    ih = draw(st.integers(1, max_input))
+    iw = draw(st.integers(1, max_input))
+    c = draw(st.integers(1, max_channels))
+    m = draw(st.integers(1, max_channels))
+    kh = draw(st.integers(1, max_kernel))
+    kw = draw(st.integers(1, max_kernel))
+    s = draw(st.integers(1, max_stride))
+    p = draw(st.integers(0, min(kh, kw) - 1))
+    op = draw(st.integers(0, s - 1))
+    # Reject parameter draws whose output would be non-positive (the
+    # constructor raises for those).
+    assume((ih - 1) * s - 2 * p + kh + op >= 1)
+    assume((iw - 1) * s - 2 * p + kw + op >= 1)
+    return DeconvSpec(
+        input_height=ih, input_width=iw, in_channels=c,
+        kernel_height=kh, kernel_width=kw, out_channels=m,
+        stride=s, padding=p, output_padding=op,
+    )

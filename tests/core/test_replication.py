@@ -1,0 +1,56 @@
+"""Tests for bank replication."""
+
+import pytest
+
+from repro.core.replication import replicate_red, replication_frontier
+from repro.utils.validation import check_positive_int  # noqa: F401  (sanity import)
+from repro.workloads.specs import get_layer
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return get_layer("FCN_Deconv2").spec
+
+
+class TestReplication:
+    def test_cycles_divide(self, spec):
+        base = replicate_red(spec, 1)
+        doubled = replicate_red(spec, 2)
+        assert doubled.cycles == -(-base.cycles // 2)
+
+    def test_latency_drops_with_replicas(self, spec):
+        points = replication_frontier(spec, (1, 2, 4, 8))
+        latencies = [p.latency for p in points]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_area_grows_with_replicas(self, spec):
+        points = replication_frontier(spec, (1, 2, 4))
+        areas = [p.area for p in points]
+        assert areas == sorted(areas)
+        # Array area is exactly proportional to replicas.
+        assert points[1].metrics.area.computation == pytest.approx(
+            2 * points[0].metrics.area.computation
+        )
+
+    def test_energy_roughly_constant(self, spec):
+        """Replication reschedules work; it should not change energy much."""
+        base = replicate_red(spec, 1)
+        wide = replicate_red(spec, 8)
+        ratio = wide.metrics.energy.total / base.metrics.energy.total
+        assert 0.9 <= ratio <= 1.1
+
+    def test_replica_one_matches_plain_red(self, spec):
+        from repro.core.red_design import REDDesign
+
+        plain = REDDesign(spec).evaluate("replicated")
+        rep = replicate_red(spec, 1)
+        assert rep.metrics.latency.total == pytest.approx(plain.latency.total)
+        assert rep.metrics.area.total == pytest.approx(plain.area.total)
+
+    def test_invalid_factor_rejected(self, spec):
+        with pytest.raises(Exception):
+            replicate_red(spec, 0)
+
+    def test_frontier_sorted_and_deduped(self, spec):
+        points = replication_frontier(spec, (4, 1, 4, 2))
+        assert [p.replicas for p in points] == [1, 2, 4]

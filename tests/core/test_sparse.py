@@ -1,0 +1,65 @@
+"""Tests for the activation-sparsity extension study."""
+
+import numpy as np
+import pytest
+
+from repro.core.sparse import evaluate_with_sparsity, measure_sparsity
+from repro.deconv.shapes import DeconvSpec
+from repro.errors import ShapeError
+
+
+@pytest.fixture
+def spec():
+    return DeconvSpec(6, 6, 8, 4, 4, 4, stride=2, padding=1)
+
+
+class TestMeasurement:
+    def test_dense_input_nothing_gated(self, spec, rng):
+        x = np.abs(rng.standard_normal(spec.input_shape)) + 1.0
+        profile = measure_sparsity(x, spec)
+        assert profile.pixel_zero_fraction == 0.0
+        assert profile.feed_gating_ratio == 0.0
+
+    def test_all_zero_input_everything_gated(self, spec):
+        profile = measure_sparsity(np.zeros(spec.input_shape), spec)
+        assert profile.pixel_zero_fraction == 1.0
+        assert profile.feed_gating_ratio == 1.0
+
+    def test_structured_sparsity_detected(self, spec, rng):
+        x = np.abs(rng.standard_normal(spec.input_shape)) + 1.0
+        x[::2, :, :] = 0.0
+        profile = measure_sparsity(x, spec)
+        assert profile.pixel_zero_fraction == 0.5
+        assert 0.0 < profile.feed_gating_ratio < 1.0
+
+    def test_element_vs_pixel_sparsity(self, spec, rng):
+        """ReLU zeros elements but rarely whole pixel vectors."""
+        x = np.maximum(rng.standard_normal(spec.input_shape), 0.0)
+        profile = measure_sparsity(x, spec)
+        assert profile.element_zero_fraction > 0.3
+        assert profile.pixel_zero_fraction < profile.element_zero_fraction
+
+    def test_shape_mismatch_rejected(self, spec):
+        with pytest.raises(ShapeError):
+            measure_sparsity(np.zeros((1, 1, 1)), spec)
+
+
+class TestGatedEvaluation:
+    def test_gating_never_increases_energy(self, spec, rng):
+        x = np.maximum(rng.standard_normal(spec.input_shape), 0.0)
+        base, gated, _ = evaluate_with_sparsity(spec, x)
+        assert gated.energy.total <= base.energy.total
+
+    def test_latency_unchanged(self, spec, rng):
+        """Value gating is an energy extension; the schedule is static."""
+        x = np.maximum(rng.standard_normal(spec.input_shape), 0.0)
+        base, gated, _ = evaluate_with_sparsity(spec, x)
+        assert gated.latency.total == pytest.approx(base.latency.total)
+
+    def test_more_sparsity_more_saving(self, spec, rng):
+        dense = np.abs(rng.standard_normal(spec.input_shape)) + 1.0
+        sparse = dense.copy()
+        sparse[::2, :, :] = 0.0
+        _, gated_dense, _ = evaluate_with_sparsity(spec, dense)
+        _, gated_sparse, _ = evaluate_with_sparsity(spec, sparse)
+        assert gated_sparse.energy.total < gated_dense.energy.total

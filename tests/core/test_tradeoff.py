@@ -1,0 +1,59 @@
+"""Tests for the Sec. III-C design trade-off explorer."""
+
+import pytest
+
+from repro.core.tradeoff import explore_fold_tradeoff
+from repro.deconv.shapes import DeconvSpec
+from repro.errors import ParameterError
+from repro.workloads.specs import get_layer
+
+
+class TestTradeoff:
+    def test_default_folds_are_powers_of_two(self):
+        spec = get_layer("FCN_Deconv2").spec
+        points = explore_fold_tradeoff(spec)
+        folds = [p.fold for p in points]
+        assert folds == sorted(folds)
+        assert all(f & (f - 1) == 0 for f in folds)
+
+    def test_cycles_scale_with_fold(self):
+        spec = get_layer("FCN_Deconv2").spec
+        points = {p.fold: p for p in explore_fold_tradeoff(spec, folds=(1, 2, 4))}
+        assert points[2].cycles == 2 * points[1].cycles
+        assert points[4].cycles == 4 * points[1].cycles
+
+    def test_sc_count_shrinks_with_fold(self):
+        spec = get_layer("FCN_Deconv2").spec
+        points = {p.fold: p for p in explore_fold_tradeoff(spec, folds=(1, 2, 4))}
+        assert points[1].num_physical_scs == 256
+        assert points[2].num_physical_scs == 128
+        assert points[4].num_physical_scs == 64
+
+    def test_latency_increases_with_fold(self):
+        spec = get_layer("FCN_Deconv2").spec
+        points = explore_fold_tradeoff(spec, folds=(1, 2, 4, 8))
+        latencies = [p.latency for p in points]
+        assert latencies == sorted(latencies)
+
+    def test_area_decreases_with_fold(self):
+        """The Sec. III-C trade: fewer SCs -> less duplicated periphery."""
+        spec = get_layer("FCN_Deconv2").spec
+        points = explore_fold_tradeoff(spec, folds=(1, 2, 4, 8))
+        areas = [p.area for p in points]
+        assert areas == sorted(areas, reverse=True)
+
+    def test_paper_configuration_on_frontier(self):
+        """The paper picks fold=2 (128 SCs, 2 cycles) for FCN stride-8."""
+        spec = get_layer("FCN_Deconv2").spec
+        points = {p.fold: p for p in explore_fold_tradeoff(spec, folds=(1, 2))}
+        assert points[2].num_physical_scs == 128
+        assert points[2].area < points[1].area
+        assert points[2].latency < 2.2 * points[1].latency
+
+    def test_empty_folds_rejected(self):
+        with pytest.raises(ParameterError):
+            explore_fold_tradeoff(get_layer("GAN_Deconv3").spec, folds=())
+
+    def test_duplicate_folds_deduped(self):
+        points = explore_fold_tradeoff(get_layer("GAN_Deconv3").spec, folds=(1, 1, 2))
+        assert [p.fold for p in points] == [1, 2]

@@ -1,0 +1,64 @@
+"""Tests for the ASCII mechanism-figure renderers."""
+
+from repro.core.visualize import render_cycle_table, render_modes, render_padded_map
+from repro.deconv.shapes import DeconvSpec
+
+
+FIG6_SPEC = DeconvSpec(4, 4, 2, 3, 3, 2, stride=2, padding=1)
+
+
+class TestModesFigure:
+    def test_fig6_paper_example_tap_sets(self):
+        """Fig. 6: K=3x3, s=2 -> taps {1,3,7,9}, {4,6}, {2,8}, {5}."""
+        text = render_modes(FIG6_SPEC)
+        blocks = text.split("\n\n")
+        assert len(blocks) == 4
+        numbers = []
+        for block in blocks:
+            nums = sorted(
+                int(tok) for line in block.splitlines()[1:] for tok in line.split()
+                if tok.isdigit()
+            )
+            numbers.append(nums)
+        assert sorted(map(tuple, numbers)) == sorted(
+            [(5,), (4, 6), (2, 8), (1, 3, 7, 9)]
+        )
+
+    def test_every_tap_appears_once(self):
+        text = render_modes(FIG6_SPEC)
+        for tap in range(1, 10):
+            assert text.count(f"{tap:>3}") == 1
+
+
+class TestPaddedMapFigure:
+    def test_sngan_map_statistics(self):
+        spec = DeconvSpec(4, 4, 1, 4, 4, 1, stride=2, padding=1)
+        text = render_padded_map(spec)
+        assert "86.8% zero redundancy" in text
+        assert text.count("#") == 16
+        grid_lines = text.splitlines()[1:]
+        assert len(grid_lines) == 11
+        assert all(len(line) == 11 for line in grid_lines)
+
+    def test_stride1_no_insertion(self):
+        spec = DeconvSpec(3, 3, 1, 2, 2, 1, stride=1, padding=0)
+        text = render_padded_map(spec)
+        # Stretched map is dense; only the border is zero.
+        assert "###" in text
+
+
+class TestCycleTableFigure:
+    def test_one_row_per_sub_crossbar(self):
+        text = render_cycle_table(FIG6_SPEC, num_cycles=2)
+        for sc in range(1, 10):
+            assert f"SC{sc} " in text
+
+    def test_inputs_are_live_pixels(self):
+        text = render_cycle_table(FIG6_SPEC, num_cycles=1)
+        assert "I(" in text and "O(" in text
+
+    def test_requested_cycle_count_capped(self):
+        spec = DeconvSpec(2, 2, 1, 2, 2, 1, stride=2, padding=0)
+        text = render_cycle_table(spec, num_cycles=99)
+        # 2x2 blocks -> at most 4 rounds of columns.
+        assert "cycle 5 input" not in text

@@ -1,0 +1,102 @@
+"""Tests for the zero-redundancy analytics behind Fig. 4."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.deconv.analysis import (
+    dense_mac_count,
+    input_vector_sparsity,
+    padded_zero_fraction,
+    redundancy_vs_stride,
+    redundant_mac_fraction,
+    useful_mac_count,
+)
+from repro.deconv.shapes import DeconvSpec
+from repro.errors import ParameterError
+from tests.conftest import deconv_specs
+
+
+class TestPaddedZeroFraction:
+    def test_sngan_stride2_is_86_8_percent(self):
+        """The headline Fig. 4 value: 1 - 16/121 = 86.78%."""
+        spec = DeconvSpec(4, 4, 1, 4, 4, 1, stride=2, padding=1)
+        assert padded_zero_fraction(spec) == pytest.approx(1 - 16 / 121, abs=1e-12)
+
+    def test_no_insertion_no_border_is_zero(self):
+        spec = DeconvSpec(4, 4, 1, 1, 1, 1, stride=1, padding=0)
+        assert padded_zero_fraction(spec) == 0.0
+
+    def test_increases_with_stride(self):
+        fractions = [
+            padded_zero_fraction(DeconvSpec(4, 4, 1, 4, 4, 1, stride=s, padding=1))
+            for s in (1, 2, 4, 8)
+        ]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] > 0.97
+
+
+class TestMacCounts:
+    def test_dense_count_formula(self, small_spec):
+        assert dense_mac_count(small_spec) == (
+            small_spec.num_output_pixels
+            * small_spec.num_kernel_taps
+            * small_spec.in_channels
+            * small_spec.out_channels
+        )
+
+    def test_useful_matches_brute_force(self, small_spec):
+        brute = sum(
+            len(small_spec.contributing_taps(oy, ox))
+            for oy in range(small_spec.output_height)
+            for ox in range(small_spec.output_width)
+        ) * small_spec.in_channels * small_spec.out_channels
+        assert useful_mac_count(small_spec) == brute
+
+    @given(deconv_specs())
+    @settings(max_examples=40, deadline=None)
+    def test_useful_never_exceeds_dense(self, spec):
+        assert 0 <= useful_mac_count(spec) <= dense_mac_count(spec)
+
+    @given(deconv_specs())
+    @settings(max_examples=40, deadline=None)
+    def test_useful_bounded_by_scatter_volume(self, spec):
+        """Each (input pixel, tap) pair scatters at most once."""
+        ceiling = (
+            spec.num_input_pixels
+            * spec.num_kernel_taps
+            * spec.in_channels
+            * spec.out_channels
+        )
+        assert useful_mac_count(spec) <= ceiling
+
+    def test_redundancy_between_zero_and_one(self, small_spec):
+        assert 0.0 <= redundant_mac_fraction(small_spec) < 1.0
+
+    def test_sparsity_alias(self, small_spec):
+        assert input_vector_sparsity(small_spec) == redundant_mac_fraction(small_spec)
+
+
+class TestRedundancyCurves:
+    def test_sngan_curve_endpoint_values(self):
+        curve = dict(redundancy_vs_stride(4, kernel_rule="fixed", kernel_size=4))
+        assert curve[2] == pytest.approx(0.8678, abs=5e-4)
+        assert curve[32] > 0.99
+
+    def test_fcn_curve_reaches_99_8_percent(self):
+        curve = dict(redundancy_vs_stride(16, kernel_rule="fcn"))
+        assert curve[32] >= 0.998
+
+    def test_curves_monotone_in_stride_beyond_one(self):
+        for rule in ("fixed", "fcn"):
+            curve = redundancy_vs_stride(8, kernel_rule=rule)
+            values = [v for s, v in curve if s >= 2]
+            assert values == sorted(values)
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(ParameterError):
+            redundancy_vs_stride(4, kernel_rule="nope")
+
+    def test_custom_strides(self):
+        curve = redundancy_vs_stride(4, strides=(2, 3), kernel_rule="fixed")
+        assert [s for s, _ in curve] == [2, 3]

@@ -1,0 +1,97 @@
+"""Tests for the standard-convolution design (Fig. 1b)."""
+
+import numpy as np
+import pytest
+
+from repro.deconv.reference import conv2d
+from repro.designs.conv_design import ConvolutionDesign, ConvSpec
+from repro.errors import ShapeError
+
+
+@pytest.fixture
+def spec():
+    return ConvSpec(8, 8, 4, 3, 3, 5, stride=2, padding=1)
+
+
+class TestConvSpec:
+    def test_output_algebra(self):
+        spec = ConvSpec(8, 8, 1, 3, 3, 1, stride=2, padding=1)
+        assert spec.output_shape == (4, 4, 1)
+
+    def test_valid_convolution(self):
+        spec = ConvSpec(5, 5, 1, 3, 3, 1)
+        assert spec.output_shape == (3, 3, 1)
+
+    def test_empty_output_rejected(self):
+        with pytest.raises(ShapeError):
+            ConvSpec(2, 2, 1, 5, 5, 1)
+
+    def test_num_weights(self, spec):
+        assert spec.num_weights == 3 * 3 * 4 * 5
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (3, 2)])
+    def test_matches_reference(self, rng, stride, padding):
+        spec = ConvSpec(9, 9, 3, 3, 3, 4, stride=stride, padding=padding)
+        x = rng.standard_normal(spec.input_shape)
+        w = rng.standard_normal(spec.kernel_shape)
+        run = ConvolutionDesign(spec).run_functional(x, w)
+        np.testing.assert_allclose(
+            run.output, conv2d(x, w, stride=stride, padding=padding), atol=1e-10
+        )
+
+    def test_cycles_equal_output_positions(self, spec, rng):
+        x = rng.standard_normal(spec.input_shape)
+        w = rng.standard_normal(spec.kernel_shape)
+        run = ConvolutionDesign(spec).run_functional(x, w)
+        assert run.cycles == spec.output_height * spec.output_width
+
+    def test_shape_validation(self, spec, rng):
+        design = ConvolutionDesign(spec)
+        with pytest.raises(ShapeError):
+            design.run_functional(rng.standard_normal((1, 1, 1)), rng.standard_normal(spec.kernel_shape))
+
+
+class TestQuantized:
+    def test_exact_integer_convolution(self, spec, rng):
+        x = rng.integers(0, 256, size=spec.input_shape)
+        w = rng.integers(-127, 128, size=spec.kernel_shape)
+        run = ConvolutionDesign(spec).run_quantized(x, w)
+        expected = conv2d(
+            x.astype(float), w.astype(float), stride=spec.stride, padding=spec.padding
+        ).astype(np.int64)
+        np.testing.assert_array_equal(run.output, expected)
+
+
+class TestPerf:
+    def test_geometry(self, spec):
+        perf = ConvolutionDesign(spec).perf_input("conv")
+        assert perf.wordline_cols == spec.out_channels
+        assert perf.bitline_rows == 3 * 3 * 4
+        assert perf.cycles == spec.output_height * spec.output_width
+
+    def test_density_scales_live_rows(self, spec):
+        dense = ConvolutionDesign(spec).perf_input(activation_density=1.0)
+        half = ConvolutionDesign(spec).perf_input(activation_density=0.5)
+        assert half.live_row_cycles_total == pytest.approx(
+            dense.live_row_cycles_total / 2
+        )
+
+    def test_density_bounds(self, spec):
+        with pytest.raises(ShapeError):
+            ConvolutionDesign(spec).perf_input(activation_density=0.0)
+        with pytest.raises(ShapeError):
+            ConvolutionDesign(spec).perf_input(activation_density=1.5)
+
+    def test_evaluate_produces_metrics(self, spec):
+        m = ConvolutionDesign(spec).evaluate("conv")
+        assert m.latency.total > 0.0
+        assert m.energy.total > 0.0
+        assert m.area.total > 0.0
+
+    def test_denser_activations_cost_more_energy(self, spec):
+        lean = ConvolutionDesign(spec).evaluate(activation_density=0.3)
+        dense = ConvolutionDesign(spec).evaluate(activation_density=1.0)
+        assert dense.energy.total > lean.energy.total
+        assert dense.latency.total == pytest.approx(lean.latency.total)

@@ -1,0 +1,81 @@
+"""Tests for the padding-free baseline design."""
+
+import numpy as np
+import pytest
+
+from repro.deconv.padding_free import full_overlap_shape
+from repro.deconv.reference import conv_transpose2d
+from repro.designs.padding_free_design import PaddingFreeDesign
+from tests.conftest import integer_operands, random_operands
+
+
+class TestFunctional:
+    def test_matches_reference(self, small_spec):
+        x, w = random_operands(small_spec)
+        run = PaddingFreeDesign(small_spec).run_functional(x, w)
+        np.testing.assert_allclose(
+            run.output, conv_transpose2d(x, w, small_spec), atol=1e-10
+        )
+
+    def test_cycles_equal_input_pixels(self, small_spec):
+        x, w = random_operands(small_spec)
+        run = PaddingFreeDesign(small_spec).run_functional(x, w)
+        assert run.cycles == small_spec.num_input_pixels
+
+    def test_intermediate_volume(self, small_spec):
+        x, w = random_operands(small_spec)
+        run = PaddingFreeDesign(small_spec).run_functional(x, w)
+        assert run.counters["intermediate_values"] == (
+            small_spec.num_input_pixels
+            * small_spec.num_kernel_taps
+            * small_spec.out_channels
+        )
+
+    def test_cropped_value_count(self, small_spec):
+        x, w = random_operands(small_spec)
+        run = PaddingFreeDesign(small_spec).run_functional(x, w)
+        fh, fw = full_overlap_shape(small_spec)
+        assert run.counters["cropped_values"] == (
+            fh * fw - small_spec.num_output_pixels
+        ) * small_spec.out_channels
+
+
+class TestQuantized:
+    def test_exact_integer_deconvolution(self):
+        from repro.deconv.shapes import DeconvSpec
+
+        spec = DeconvSpec(3, 3, 4, 4, 4, 3, stride=2, padding=1)
+        x, w = integer_operands(spec)
+        run = PaddingFreeDesign(spec).run_quantized(x, w)
+        expected = conv_transpose2d(x.astype(float), w.astype(float), spec)
+        np.testing.assert_array_equal(run.output, expected.astype(np.int64))
+
+
+class TestPerfInput:
+    def test_geometry_matches_fig3b(self, small_spec):
+        perf = PaddingFreeDesign(small_spec).perf_input("unit")
+        wide = small_spec.num_kernel_taps * small_spec.out_channels
+        assert perf.cycles == small_spec.num_input_pixels
+        assert perf.wordline_cols == wide
+        assert perf.bitline_rows == small_spec.in_channels
+        assert perf.conv_values_per_cycle == wide
+        assert perf.has_crop_unit
+        assert perf.overlap_adder_cols == wide
+
+    def test_all_rows_live(self, small_spec):
+        perf = PaddingFreeDesign(small_spec).perf_input()
+        assert perf.live_row_cycles_total == (
+            small_spec.in_channels * small_spec.num_input_pixels
+        )
+
+    def test_overlap_serialization_grows_with_taps(self):
+        from repro.deconv.shapes import DeconvSpec
+
+        small = PaddingFreeDesign(DeconvSpec(3, 3, 2, 2, 2, 2, stride=2)).perf_input()
+        large = PaddingFreeDesign(DeconvSpec(3, 3, 2, 8, 8, 2, stride=2, padding=1)).perf_input()
+        assert large.sa_extra_ops_per_value > small.sa_extra_ops_per_value
+
+    def test_measured_cycles_match_perf_model(self, small_spec):
+        design = PaddingFreeDesign(small_spec)
+        x, w = random_operands(small_spec)
+        assert design.run_functional(x, w).cycles == design.perf_input().cycles

@@ -1,0 +1,47 @@
+"""Tests for the hardware-accuracy study."""
+
+import pytest
+
+from repro.deconv.shapes import DeconvSpec
+from repro.errors import ParameterError
+from repro.eval.accuracy import layer_accuracy_study
+
+
+@pytest.fixture(scope="module")
+def points():
+    spec = DeconvSpec(3, 3, 8, 4, 4, 4, stride=2, padding=1)
+    return layer_accuracy_study(spec, adc_bits_sweep=(8, 4), sigma_sweep=(0.05,))
+
+
+class TestAccuracyStudy:
+    def test_baseline_first(self, points):
+        assert points[0].label.startswith("lossless")
+
+    def test_quantization_error_small(self, points):
+        assert points[0].relative_error < 0.05
+        assert points[0].snr_db > 20.0
+
+    def test_adc_degradation_monotone(self, points):
+        adc = [p for p in points if p.label.startswith("ADC")]
+        errors = [p.relative_error for p in adc]
+        assert errors == sorted(errors)  # 8 bits better than 4
+
+    def test_noise_worse_than_baseline(self, points):
+        noisy = [p for p in points if "variation" in p.label]
+        assert all(p.relative_error >= points[0].relative_error for p in noisy)
+
+    def test_snr_consistent_with_error(self, points):
+        ordered = sorted(points, key=lambda p: p.relative_error)
+        snrs = [p.snr_db for p in ordered]
+        assert snrs == sorted(snrs, reverse=True)
+
+    def test_rejects_silly_bits(self):
+        spec = DeconvSpec(2, 2, 2, 2, 2, 2, stride=2)
+        with pytest.raises(ParameterError):
+            layer_accuracy_study(spec, bits=1)
+
+    def test_deterministic(self):
+        spec = DeconvSpec(2, 2, 4, 2, 2, 2, stride=2)
+        a = layer_accuracy_study(spec, seed=3, adc_bits_sweep=(), sigma_sweep=())
+        b = layer_accuracy_study(spec, seed=3, adc_bits_sweep=(), sigma_sweep=())
+        assert a[0].relative_error == b[0].relative_error

@@ -1,0 +1,62 @@
+"""Tests for the CSV/JSON export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.eval.export import grid_records, to_csv, to_json, write_csv, write_json
+from repro.eval.harness import run_grid
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return run_grid()
+
+
+class TestRecords:
+    def test_one_record_per_cell(self, grid):
+        records = grid_records(grid)
+        assert len(records) == 6 * 3  # layers x designs
+
+    def test_record_fields(self, grid):
+        record = grid_records(grid)[0]
+        for field in ("layer", "design", "cycles", "latency_s", "energy_j",
+                      "area_m2", "speedup_vs_zero_padding"):
+            assert field in record
+
+    def test_baseline_speedup_is_one(self, grid):
+        for record in grid_records(grid):
+            if record["design"] == "zero-padding":
+                assert record["speedup_vs_zero_padding"] == pytest.approx(1.0)
+
+    def test_component_columns_sum_to_total(self, grid):
+        for record in grid_records(grid):
+            parts = sum(
+                v for k, v in record.items()
+                if k.startswith("energy_") and k.endswith("_j")
+                and k not in ("energy_j", "energy_array_j", "energy_periphery_j")
+            )
+            assert parts == pytest.approx(record["energy_j"])
+
+
+class TestFormats:
+    def test_csv_round_trip(self, grid):
+        text = to_csv(grid)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 18
+        assert rows[0]["layer"] == "GAN_Deconv1"
+
+    def test_json_round_trip(self, grid):
+        data = json.loads(to_json(grid))
+        assert len(data) == 18
+        assert {d["design"] for d in data} == {"zero-padding", "padding-free", "RED"}
+
+    def test_write_files(self, grid, tmp_path):
+        csv_path = tmp_path / "grid.csv"
+        json_path = tmp_path / "grid.json"
+        write_csv(str(csv_path), grid)
+        write_json(str(json_path), grid)
+        assert csv_path.read_text().startswith("layer,")
+        assert json.loads(json_path.read_text())

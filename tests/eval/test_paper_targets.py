@@ -1,0 +1,32 @@
+"""Tests for the paper-target band records."""
+
+from repro.eval.paper_targets import PAPER_TARGETS, PaperBand
+
+
+class TestBands:
+    def test_contains_inclusive(self):
+        band = PaperBand(claim="x", published="y", low=1.0, high=2.0)
+        assert band.contains(1.0)
+        assert band.contains(2.0)
+        assert not band.contains(0.999)
+        assert not band.contains(2.001)
+
+    def test_all_targets_have_valid_ranges(self):
+        for key, band in PAPER_TARGETS.items():
+            assert band.low <= band.high, key
+            assert band.claim and band.published, key
+
+    def test_headline_targets_present(self):
+        for key in (
+            "speedup_min", "speedup_max",
+            "energy_saving_min", "energy_saving_max",
+            "red_area_overhead_gan",
+            "fig4_sngan_stride2",
+        ):
+            assert key in PAPER_TARGETS
+
+    def test_known_deviations_flagged(self):
+        """Claims we reproduce directionally carry strict=False."""
+        assert not PAPER_TARGETS["pf_area_overhead_gan1"].strict
+        assert not PAPER_TARGETS["pf_total_energy_gan_max"].strict
+        assert PAPER_TARGETS["speedup_max"].strict

@@ -1,0 +1,51 @@
+"""Tests for the stride-speedup sweep (Sec. III-C quadratic claim)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.eval.sweeps import quadratic_fit_exponent, stride_speedup_sweep
+
+
+@pytest.fixture(scope="module")
+def points():
+    return stride_speedup_sweep(strides=(1, 2, 4, 8))
+
+
+class TestStrideSweep:
+    def test_modes_are_stride_squared(self, points):
+        for p in points:
+            assert p.modes == p.stride**2
+
+    def test_speedup_grows_with_stride(self, points):
+        speedups = [p.speedup for p in points]
+        assert speedups == sorted(speedups)
+
+    def test_cycle_ratio_is_exactly_quadratic(self, points):
+        """The round-count ratio is stride^2 by construction (fold=1)."""
+        for p in points:
+            if p.stride > 1:
+                assert p.cycles_zp / p.cycles_red == pytest.approx(p.stride**2)
+
+    def test_quadratic_exponent_near_two(self, points):
+        """Sec. III-C: 'the speed-up ... quadratically increases with the
+        stride' — per-cycle overheads pull the exponent slightly under 2."""
+        exponent = quadratic_fit_exponent(points)
+        assert 1.7 <= exponent <= 2.05
+
+    def test_stride1_near_parity(self, points):
+        assert points[0].stride == 1
+        assert 0.8 <= points[0].speedup <= 1.2
+
+    def test_folded_sweep_caps_parallelism(self):
+        unfolded = stride_speedup_sweep(strides=(8,), fold=1)[0]
+        folded = stride_speedup_sweep(strides=(8,), fold=2)[0]
+        assert folded.speedup < unfolded.speedup
+
+    def test_empty_strides_rejected(self):
+        with pytest.raises(ParameterError):
+            stride_speedup_sweep(strides=())
+
+    def test_fit_needs_two_points(self):
+        single = stride_speedup_sweep(strides=(2,))
+        with pytest.raises(ParameterError):
+            quadratic_fit_exponent(single)

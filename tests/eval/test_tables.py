@@ -1,0 +1,97 @@
+"""Tests for the table renderers and report formatting."""
+
+from repro.eval.report import (
+    format_fig4,
+    format_fig7,
+    format_fig8,
+    format_fig9,
+    full_report,
+)
+from repro.eval.tables import render_table1, render_table2
+
+
+class TestTable1:
+    def test_contains_all_layers(self):
+        text = render_table1()
+        for name in (
+            "GAN_Deconv1", "GAN_Deconv2", "GAN_Deconv3",
+            "GAN_Deconv4", "FCN_Deconv1", "FCN_Deconv2",
+        ):
+            assert name in text
+
+    def test_contains_shapes(self):
+        text = render_table1()
+        assert "(8, 8, 512)" in text
+        assert "(568, 568, 21)" in text
+        assert "(16, 16, 21, 21)" in text
+
+
+class TestTable2:
+    def test_contains_all_abbreviations(self):
+        text = render_table2()
+        for abbr in (" c ", " wd ", " bd ", " mux ", " dec ", " rc ", " sa "):
+            assert abbr in text
+
+    def test_groups(self):
+        text = render_table2()
+        assert "Array (a)" in text
+        assert "Periphery (pp)" in text
+
+
+class TestReport:
+    def test_fig4_mentions_strides(self):
+        text = format_fig4()
+        for stride in ("1", "2", "4", "8", "16", "32"):
+            assert stride in text
+
+    def test_fig7_has_speedups(self):
+        text = format_fig7()
+        assert "speedup" in text
+        assert "RED" in text
+
+    def test_fig8_has_savings(self):
+        assert "saving" in format_fig8()
+
+    def test_fig9_lists_shown_layers(self):
+        text = format_fig9()
+        assert "GAN_Deconv1" in text and "FCN_Deconv2" in text
+
+    def test_full_report_joins_everything(self):
+        text = full_report()
+        assert "Table I" in text
+        assert "Table II" in text
+        assert "Fig. 4" in text
+        assert "Fig. 9" in text
+        assert "component breakdown" in text
+
+
+class TestComponentBreakdown:
+    def test_energy_components_listed(self):
+        from repro.eval.report import format_component_breakdown
+
+        text = format_component_breakdown(metric="energy")
+        for col in ("c %", "wd %", "dec %", "rc %", "ov %"):
+            assert col in text
+
+    def test_latency_variant(self):
+        from repro.eval.report import format_component_breakdown
+
+        text = format_component_breakdown(metric="latency")
+        assert "latency" in text
+
+    def test_rejects_unknown_metric(self):
+        from repro.eval.report import format_component_breakdown
+
+        import pytest
+
+        with pytest.raises(ValueError):
+            format_component_breakdown(metric="power")
+
+    def test_baseline_rows_sum_to_100(self):
+        from repro.eval.harness import run_grid
+        from repro.eval.report import format_component_breakdown
+
+        grid = run_grid()
+        base = grid.baseline("GAN_Deconv1").energy
+        norm = base.normalized_to(base)
+        assert sum(norm.values()) == 1.0

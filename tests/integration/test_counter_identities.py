@@ -1,0 +1,59 @@
+"""Cross-checks between measured activity and the closed-form perf model."""
+
+import pytest
+
+from repro.core.red_design import REDDesign
+from repro.designs.padding_free_design import PaddingFreeDesign
+from repro.designs.zero_padding_design import ZeroPaddingDesign
+from repro.sim.engine import CycleEngine
+from tests.conftest import random_operands
+
+
+class TestCycleIdentities:
+    def test_all_designs_measured_equals_modeled(self, small_spec):
+        x, w = random_operands(small_spec)
+        for design_cls in (ZeroPaddingDesign, PaddingFreeDesign):
+            design = design_cls(small_spec)
+            assert design.run_functional(x, w).cycles == design.perf_input().cycles
+        red = REDDesign(small_spec)
+        assert red.run_cycle_accurate(x, w).cycles == red.perf_input().cycles
+
+
+class TestMacConservation:
+    def test_useful_macs_identical_across_designs(self, small_spec):
+        """Every design performs exactly the same live multiplications."""
+        zp = ZeroPaddingDesign(small_spec).perf_input()
+        pf = PaddingFreeDesign(small_spec).perf_input()
+        red = REDDesign(small_spec).perf_input()
+        assert zp.useful_macs == pf.useful_macs == red.useful_macs
+
+    def test_zero_padding_measured_useful_macs(self, small_spec):
+        import numpy as np
+
+        x = np.abs(random_operands(small_spec)[0]) + 1.0
+        _, w = random_operands(small_spec)
+        design = ZeroPaddingDesign(small_spec)
+        run = design.run_functional(x, w)
+        assert run.counters["macs_useful"] == design.perf_input().useful_macs
+
+    def test_total_cells_identical_across_designs(self, small_spec):
+        zp = ZeroPaddingDesign(small_spec).perf_input()
+        pf = PaddingFreeDesign(small_spec).perf_input()
+        red = REDDesign(small_spec).perf_input()
+        assert zp.total_cells_logical == pf.total_cells_logical == red.total_cells_logical
+
+
+class TestEngineVsModel:
+    def test_live_rows_close_to_model(self, small_spec):
+        """Engine-measured live rows match the perf model's live-row total
+        (the model may count border-clipped rows the engine skips)."""
+        x, w = random_operands(small_spec)
+        engine_run = CycleEngine(small_spec).run(x, w)
+        model = REDDesign(small_spec).perf_input()
+        measured = engine_run.counters.get("live_rows")
+        assert measured == pytest.approx(model.live_row_cycles_total, rel=1e-9)
+
+    def test_output_pixels_match_spec(self, small_spec):
+        x, w = random_operands(small_spec)
+        run = CycleEngine(small_spec).run(x, w)
+        assert run.counters.get("output_pixels") == small_spec.num_output_pixels

@@ -1,0 +1,54 @@
+"""Functional integration over the remaining full-size Table I layers.
+
+GAN_Deconv3 and FCN_Deconv1 are covered in test_end_to_end; here the
+other GAN layers (including the output-padding 5x5 cases) run at full
+size through RED's fast path and the chunked zero-padding path.
+FCN_Deconv2 stays perf-model-only (3.6e10 MACs).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.red_design import REDDesign
+from repro.deconv.reference import conv_transpose2d
+from repro.designs.zero_padding_design import ZeroPaddingDesign
+from repro.workloads.data import layer_input, layer_kernel
+from repro.workloads.specs import get_layer
+
+
+@pytest.mark.parametrize("name", ["GAN_Deconv1", "GAN_Deconv2", "GAN_Deconv4"])
+class TestFullSizeGANLayers:
+    def test_red_fast_path(self, name):
+        layer = get_layer(name)
+        x, w = layer_input(layer), layer_kernel(layer)
+        ref = conv_transpose2d(x, w, layer.spec)
+        run = REDDesign(layer.spec).run_functional(x, w)
+        np.testing.assert_allclose(run.output, ref, atol=1e-8)
+
+    def test_red_cycle_count(self, name):
+        layer = get_layer(name)
+        spec = layer.spec
+        design = REDDesign(spec)
+        expected = (-(-spec.output_height // spec.stride)) * (
+            -(-spec.output_width // spec.stride)
+        )
+        assert design.cycles == expected
+
+
+class TestZeroPaddingChunkedPath:
+    def test_gan_deconv2_full_size(self):
+        """The 5x5/output-padding case through the chunked im2col path."""
+        layer = get_layer("GAN_Deconv2")
+        x, w = layer_input(layer), layer_kernel(layer)
+        run = ZeroPaddingDesign(layer.spec).run_functional(x, w)
+        ref = conv_transpose2d(x, w, layer.spec)
+        np.testing.assert_allclose(run.output, ref, atol=1e-8)
+        assert run.cycles == 64
+
+    def test_gan_deconv4_full_size(self):
+        layer = get_layer("GAN_Deconv4")
+        x, w = layer_input(layer), layer_kernel(layer)
+        run = ZeroPaddingDesign(layer.spec).run_functional(x, w)
+        ref = conv_transpose2d(x, w, layer.spec)
+        np.testing.assert_allclose(run.output, ref, atol=1e-8)
+        assert run.cycles == 144

@@ -1,0 +1,137 @@
+"""Tests for the module system."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError, ShapeError
+from repro.nn.modules import (
+    BatchNorm2d,
+    Conv2d,
+    ConvTranspose2d,
+    Flatten,
+    Identity,
+    LeakyReLU,
+    Module,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+
+
+class TestRegistry:
+    def test_parameters_depth_first(self):
+        seq = Sequential(Conv2d(2, 3, 3), BatchNorm2d(3))
+        names = [name for name, _ in seq.named_parameters()]
+        assert "0.weight" in names
+        assert "1.gamma" in names
+
+    def test_num_parameters(self):
+        conv = Conv2d(2, 3, 3, bias=True)
+        assert conv.num_parameters() == 3 * 3 * 2 * 3 + 3
+
+    def test_register_parameter_type_check(self):
+        module = Module()
+        with pytest.raises(ParameterError):
+            module.register_parameter("w", [1, 2, 3])
+
+    def test_add_module_type_check(self):
+        module = Module()
+        with pytest.raises(ParameterError):
+            module.add_module("m", object())
+
+    def test_attribute_children_registered(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.layer = ReLU()
+
+        net = Net()
+        assert "layer" in net._children
+
+
+class TestStateDict:
+    def test_round_trip(self, rng):
+        a = Conv2d(2, 3, 3, rng=rng)
+        b = Conv2d(2, 3, 3, rng=np.random.default_rng(99))
+        b.load_state_dict(a.state_dict())
+        x = rng.normal(size=(1, 2, 5, 5))
+        np.testing.assert_array_equal(a(x), b(x))
+
+    def test_missing_key_raises(self):
+        a = Conv2d(2, 3, 3)
+        state = a.state_dict()
+        state.pop("weight")
+        with pytest.raises(ParameterError):
+            a.load_state_dict(state)
+
+    def test_extra_key_raises(self):
+        a = Conv2d(2, 3, 3)
+        state = a.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(ParameterError):
+            a.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        a = Conv2d(2, 3, 3)
+        state = a.state_dict()
+        state["weight"] = np.zeros((1, 1, 1, 1))
+        with pytest.raises(ShapeError):
+            a.load_state_dict(state)
+
+    def test_state_dict_is_copy(self):
+        a = Conv2d(2, 3, 3)
+        state = a.state_dict()
+        state["weight"][...] = 0.0
+        assert a.weight.any()
+
+
+class TestLayers:
+    def test_conv_output_shape(self, rng):
+        conv = Conv2d(3, 8, 3, stride=2, padding=1, rng=rng)
+        out = conv(rng.normal(size=(2, 3, 8, 8)))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_deconv_output_shape(self, rng):
+        deconv = ConvTranspose2d(8, 4, 4, stride=2, padding=1, rng=rng)
+        out = deconv(rng.normal(size=(1, 8, 4, 4)))
+        assert out.shape == (1, 4, 8, 8)
+
+    def test_deconv_spec_builder(self):
+        deconv = ConvTranspose2d(8, 4, 4, stride=2, padding=1)
+        spec = deconv.deconv_spec(4, 4)
+        assert spec.output_shape == (8, 8, 4)
+        assert spec.kernel_shape == (4, 4, 8, 4)
+
+    def test_sequential_composition(self, rng):
+        net = Sequential(Conv2d(2, 4, 3, padding=1, rng=rng), ReLU())
+        out = net(rng.normal(size=(1, 2, 5, 5)))
+        assert out.min() >= 0.0
+        assert len(net) == 2
+        assert isinstance(net[1], ReLU)
+
+    def test_identity_and_flatten(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        np.testing.assert_array_equal(Identity()(x), x)
+        assert Flatten()(x).shape == (2, 48)
+
+    def test_elementwise_layers(self, rng):
+        x = rng.normal(size=(1, 1, 3, 3))
+        assert Tanh()(x).max() <= 1.0
+        assert Sigmoid()(x).min() >= 0.0
+        assert LeakyReLU(0.1)(x).shape == x.shape
+
+    def test_batchnorm_defaults_identityish(self, rng):
+        bn = BatchNorm2d(3)
+        x = rng.normal(size=(1, 3, 4, 4))
+        np.testing.assert_allclose(bn(x), x, atol=1e-2)
+
+    def test_invalid_channels_rejected(self):
+        with pytest.raises(ParameterError):
+            Conv2d(0, 3, 3)
+        with pytest.raises(ParameterError):
+            ConvTranspose2d(2, 3, 3, stride=0)
+
+    def test_base_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(np.zeros(1))

@@ -1,0 +1,112 @@
+"""Cross-cutting property-based invariants.
+
+These hypothesis suites tie the subsystems together: any valid layer
+shape must satisfy the algorithm-equivalence, conservation and
+performance-model sanity properties simultaneously.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.red_design import REDDesign
+from repro.deconv.analysis import useful_mac_count
+from repro.deconv.reference import conv_transpose2d
+from repro.designs.padding_free_design import PaddingFreeDesign
+from repro.designs.zero_padding_design import ZeroPaddingDesign
+from tests.conftest import deconv_specs, random_operands
+
+
+class TestAlgorithmTriangle:
+    """All designs equal the reference, hence each other."""
+
+    @given(deconv_specs(max_input=4, max_kernel=4, max_stride=3, max_channels=3))
+    @settings(max_examples=25, deadline=None)
+    def test_three_designs_agree(self, spec):
+        x, w = random_operands(spec, seed=21)
+        ref = conv_transpose2d(x, w, spec)
+        for design_cls in (ZeroPaddingDesign, PaddingFreeDesign, REDDesign):
+            out = design_cls(spec).run_functional(x, w).output
+            np.testing.assert_allclose(out, ref, atol=1e-9)
+
+    @given(deconv_specs(max_input=3, max_kernel=3, max_stride=3, max_channels=2))
+    @settings(max_examples=10, deadline=None)
+    def test_quantized_designs_agree_exactly(self, spec):
+        rng = np.random.default_rng(31)
+        x = rng.integers(0, 16, size=spec.input_shape)
+        w = rng.integers(-7, 8, size=spec.kernel_shape)
+        from repro.arch.tech import default_tech
+
+        tech = default_tech().with_overrides(bits_input=4, bits_weight=4)
+        outputs = [
+            design_cls(spec, tech).run_quantized(x, w).output
+            for design_cls in (ZeroPaddingDesign, PaddingFreeDesign, REDDesign)
+        ]
+        np.testing.assert_array_equal(outputs[0], outputs[1])
+        np.testing.assert_array_equal(outputs[0], outputs[2])
+
+
+class TestConservation:
+    @given(deconv_specs())
+    @settings(max_examples=30, deadline=None)
+    def test_output_mass_conservation(self, spec):
+        """Sum of outputs equals sum(x) kernel-weighted when nothing is
+        clipped — checked on the padding-0 subcase where no tap leaves the
+        output."""
+        if spec.padding != 0 or spec.output_padding != 0:
+            return
+        x, w = random_operands(spec, seed=17)
+        out = conv_transpose2d(x, w, spec)
+        expected = np.einsum("yxc,ijcm->", x, w)
+        np.testing.assert_allclose(out.sum(), expected, rtol=1e-8)
+
+    @given(deconv_specs())
+    @settings(max_examples=30, deadline=None)
+    def test_useful_macs_shared_by_all_designs(self, spec):
+        zp = ZeroPaddingDesign(spec).perf_input()
+        pf = PaddingFreeDesign(spec).perf_input()
+        red = REDDesign(spec).perf_input()
+        assert zp.useful_macs == pf.useful_macs == red.useful_macs == useful_mac_count(spec)
+
+
+class TestPerfSanity:
+    @given(deconv_specs())
+    @settings(max_examples=30, deadline=None)
+    def test_all_metrics_positive(self, spec):
+        for design_cls in (ZeroPaddingDesign, PaddingFreeDesign, REDDesign):
+            metrics = design_cls(spec).evaluate("prop")
+            assert metrics.latency.total > 0.0
+            assert metrics.energy.total > 0.0
+            assert metrics.area.total > 0.0
+
+    @given(deconv_specs())
+    @settings(max_examples=30, deadline=None)
+    def test_array_area_identical(self, spec):
+        areas = {
+            design_cls(spec).evaluate("prop").area.computation
+            for design_cls in (ZeroPaddingDesign, PaddingFreeDesign, REDDesign)
+        }
+        assert len(areas) == 1
+
+    @given(deconv_specs(), st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_red_cycles_scale_with_fold(self, spec, fold):
+        base = REDDesign(spec, fold=1)
+        folded = REDDesign(spec, fold=fold)
+        assert folded.cycles == fold * base.cycles
+
+    @given(deconv_specs())
+    @settings(max_examples=25, deadline=None)
+    def test_red_never_more_cycles_than_zero_padding(self, spec):
+        red = REDDesign(spec, fold=1)
+        # Block grid is at most the output-pixel grid.
+        assert red.cycles <= spec.num_output_pixels + spec.stride**2
+
+    @given(deconv_specs())
+    @settings(max_examples=20, deadline=None)
+    def test_energy_breakdown_components_nonnegative(self, spec):
+        for design_cls in (ZeroPaddingDesign, PaddingFreeDesign, REDDesign):
+            energy = design_cls(spec).evaluate("prop").energy
+            for name, value in energy.as_dict().items():
+                assert value >= 0.0, name

@@ -1,0 +1,48 @@
+"""Property-based invariants of the system-level models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.system.pipeline import PipelineReport
+
+positive_floats = st.floats(
+    min_value=1e-9, max_value=1e-3, allow_nan=False, allow_infinity=False
+)
+
+
+class TestPipelineAlgebra:
+    @given(st.lists(positive_floats, min_size=1, max_size=8), st.integers(1, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_fill_at_least_bottleneck(self, stages, batch):
+        report = PipelineReport(
+            design="x", stage_latencies=tuple(stages), batch=batch, energy_per_sample=1.0
+        )
+        assert report.fill_latency >= report.bottleneck_latency
+
+    @given(st.lists(positive_floats, min_size=1, max_size=8), st.integers(1, 63))
+    @settings(max_examples=60, deadline=None)
+    def test_batch_latency_monotone_in_batch(self, stages, batch):
+        small = PipelineReport("x", tuple(stages), batch, 1.0)
+        large = PipelineReport("x", tuple(stages), batch + 1, 1.0)
+        assert large.batch_latency >= small.batch_latency
+
+    @given(st.lists(positive_floats, min_size=1, max_size=8), st.integers(1, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_pipeline_never_slower_than_sequential(self, stages, batch):
+        report = PipelineReport("x", tuple(stages), batch, 1.0)
+        sequential = batch * report.fill_latency
+        assert report.batch_latency <= sequential + 1e-15
+        assert report.pipeline_speedup >= 1.0 - 1e-12
+
+    @given(st.lists(positive_floats, min_size=2, max_size=8), st.integers(2, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_speedup_bounded_by_stage_count(self, stages, batch):
+        report = PipelineReport("x", tuple(stages), batch, 1.0)
+        assert report.pipeline_speedup <= len(stages) + 1e-9
+
+    @given(st.lists(positive_floats, min_size=1, max_size=6), st.integers(1, 32))
+    @settings(max_examples=40, deadline=None)
+    def test_single_stage_pipeline_gains_nothing(self, stages, batch):
+        report = PipelineReport("x", (stages[0],), batch, 1.0)
+        assert report.pipeline_speedup == pytest.approx(1.0)

@@ -1,0 +1,49 @@
+"""Tests for the non-ideality models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.reram.device import ReRAMDeviceParams
+from repro.reram.noise import NoiseModel
+
+
+class TestNoiseModel:
+    def test_zero_noise_is_identity_on_programming(self, rng):
+        device = ReRAMDeviceParams()
+        model = NoiseModel()
+        g = rng.uniform(device.g_min, device.g_max, size=(8, 8))
+        np.testing.assert_array_equal(model.apply_programming(g, device), g)
+
+    def test_zero_noise_is_identity_on_read(self, rng):
+        model = NoiseModel()
+        currents = rng.uniform(0, 1e-5, size=(16,))
+        np.testing.assert_array_equal(model.apply_read(currents), currents)
+
+    def test_programming_noise_deterministic_per_seed(self, rng):
+        device = ReRAMDeviceParams()
+        g = rng.uniform(device.g_min, device.g_max, size=(8, 8))
+        a = NoiseModel(programming_sigma=0.1, seed=5).apply_programming(g, device)
+        b = NoiseModel(programming_sigma=0.1, seed=5).apply_programming(g, device)
+        np.testing.assert_array_equal(a, b)
+
+    def test_read_noise_scales_with_sigma(self, rng):
+        currents = rng.uniform(1e-6, 1e-5, size=(512,))
+        small = NoiseModel(read_noise_sigma=0.01, seed=1).apply_read(currents)
+        large = NoiseModel(read_noise_sigma=0.2, seed=1).apply_read(currents)
+        assert np.abs(large - currents).std() > np.abs(small - currents).std()
+
+    def test_stuck_at_rate_fraction(self, rng):
+        device = ReRAMDeviceParams()
+        g = np.full((100, 100), (device.g_min + device.g_max) / 2)
+        out = NoiseModel(stuck_at_rate=0.25, seed=2).apply_programming(g, device)
+        frac = (out != g[0, 0]).mean()
+        assert 0.15 < frac < 0.35
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ParameterError):
+            NoiseModel(stuck_at_rate=1.5)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ParameterError):
+            NoiseModel(programming_sigma=-0.1)

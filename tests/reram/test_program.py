@@ -1,0 +1,45 @@
+"""Tests for write-verify programming."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError
+from repro.reram.device import conductance_to_digits
+from repro.reram.noise import NoiseModel
+from repro.reram.program import WriteVerifyProgrammer
+
+
+class TestProgramming:
+    def test_ideal_programming_converges_first_round(self, rng):
+        target = rng.integers(0, 4, size=(16, 16))
+        result = WriteVerifyProgrammer().program(target)
+        assert result.iterations == 1
+        assert result.converged_fraction == 1.0
+        assert result.total_pulses == target.size
+
+    def test_readback_matches_target(self, rng):
+        prog = WriteVerifyProgrammer(noise=NoiseModel(programming_sigma=0.05, seed=1))
+        target = rng.integers(0, 4, size=(32, 32))
+        result = prog.program(target)
+        readback = conductance_to_digits(result.conductance, prog.device)
+        match = (readback == target).mean()
+        assert match >= result.converged_fraction - 1e-12
+
+    def test_noisy_programming_uses_more_pulses(self, rng):
+        target = rng.integers(0, 4, size=(64, 64))
+        clean = WriteVerifyProgrammer().program(target)
+        noisy = WriteVerifyProgrammer(
+            noise=NoiseModel(programming_sigma=0.4, seed=7)
+        ).program(target)
+        assert noisy.total_pulses >= clean.total_pulses
+
+    def test_iteration_budget_respected(self, rng):
+        prog = WriteVerifyProgrammer(
+            noise=NoiseModel(programming_sigma=2.0, seed=3), max_iterations=3
+        )
+        result = prog.program(rng.integers(0, 4, size=(16, 16)))
+        assert result.iterations <= 3
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(DeviceError):
+            WriteVerifyProgrammer().program(np.zeros((0, 4), dtype=int))

@@ -1,0 +1,74 @@
+"""Tests for full-network (conv + deconv) PIM mapping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.modules import ReLU, Sequential
+from repro.system.full_mapping import evaluate_full_network, extract_spatial_layers
+from repro.workloads.networks import SNGANGenerator
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return SNGANGenerator(base_size=4, rng=np.random.default_rng(0))
+
+
+class TestExtraction:
+    def test_finds_conv_and_deconv(self, generator):
+        layers = extract_spatial_layers(generator, 1, 1)
+        kinds = [l.kind for l in layers]
+        assert kinds.count("deconv") == 4
+        assert kinds.count("conv") == 1  # the to-RGB head
+
+    def test_shapes_propagate_through_mixed_stack(self, generator):
+        layers = extract_spatial_layers(generator, 1, 1)
+        conv = next(l for l in layers if l.kind == "conv")
+        assert conv.conv_spec.input_height == 32  # after three 2x deconvs
+        assert conv.conv_spec.output_shape == (32, 32, 3)
+
+    def test_exactly_one_spec_set(self, generator):
+        for layer in extract_spatial_layers(generator, 1, 1):
+            assert (layer.conv_spec is None) != (layer.deconv_spec is None)
+
+    def test_num_weights(self, generator):
+        layers = extract_spatial_layers(generator, 1, 1)
+        assert all(l.num_weights > 0 for l in layers)
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ShapeError):
+            extract_spatial_layers(Sequential(ReLU()), 4, 4)
+
+
+class TestFullEvaluation:
+    def test_red_accelerates_full_network(self, generator):
+        red = evaluate_full_network(generator, deconv_design="RED")
+        zp = evaluate_full_network(generator, deconv_design="zero-padding")
+        assert red.total_latency < zp.total_latency
+
+    def test_amdahl_effect(self, generator):
+        """Whole-network speedup is bounded by the unaccelerated conv
+        share — well below the per-layer ~3.7x."""
+        red = evaluate_full_network(generator, deconv_design="RED")
+        zp = evaluate_full_network(generator, deconv_design="zero-padding")
+        speedup = zp.total_latency / red.total_latency
+        assert 1.0 < speedup < 3.7
+
+    def test_conv_metrics_identical_across_deconv_designs(self, generator):
+        red = evaluate_full_network(generator, deconv_design="RED")
+        zp = evaluate_full_network(generator, deconv_design="zero-padding")
+        conv = next(l.name for l in red.layers if l.kind == "conv")
+        assert red.metrics[conv].latency.total == pytest.approx(
+            zp.metrics[conv].latency.total
+        )
+
+    def test_deconv_share_shrinks_under_red(self, generator):
+        red = evaluate_full_network(generator, deconv_design="RED")
+        zp = evaluate_full_network(generator, deconv_design="zero-padding")
+        assert red.deconv_latency_share < zp.deconv_latency_share
+
+    def test_totals_are_sums(self, generator):
+        ev = evaluate_full_network(generator, deconv_design="RED")
+        assert ev.total_energy == pytest.approx(
+            sum(m.energy.total for m in ev.metrics.values())
+        )

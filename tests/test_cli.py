@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "GAN_Deconv1" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "Shift Adder" in capsys.readouterr().out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        assert "86.78%" in capsys.readouterr().out
+
+    def test_fig7(self, capsys):
+        assert main(["fig7"]) == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_fig8(self, capsys):
+        assert main(["fig8"]) == 0
+        assert "saving" in capsys.readouterr().out
+
+    def test_fig9(self, capsys):
+        assert main(["fig9"]) == 0
+        assert "FCN_Deconv2" in capsys.readouterr().out
+
+    def test_tradeoff(self, capsys):
+        assert main(["tradeoff"]) == 0
+        out = capsys.readouterr().out
+        assert "fold" in out and "128" in out
+
+    def test_network_default(self, capsys):
+        assert main(["network"]) == 0
+        out = capsys.readouterr().out
+        assert "SNGAN" in out and "RED" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare"]) == 0
+        out = capsys.readouterr().out
+        assert "published" in out and "measured" in out
+
+    def test_mechanism(self, capsys):
+        assert main(["mechanism"]) == 0
+        out = capsys.readouterr().out
+        assert "mode (1,1)" in out
+        assert "zero redundancy" in out
+
+    def test_report_contains_everything(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        for token in ("Table I", "Table II", "Fig. 4", "Fig. 7", "Fig. 8", "Fig. 9"):
+            assert token in out
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,34 @@
+"""Every example script must run end to end (no rot).
+
+The heavyweight GAN examples are exercised on reduced problem sizes by
+their own integration tests; here each script is executed as ``__main__``
+with its full workload, serially, with a generous timeout.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_examples_directory_has_quickstart():
+    names = [p.name for p in EXAMPLES]
+    assert "quickstart.py" in names
+    assert len(names) >= 3

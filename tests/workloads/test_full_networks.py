@@ -1,0 +1,72 @@
+"""Tests for the complete workload networks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.workloads.full_networks import DCGANDiscriminator, FCN8s, gan_round_trip
+
+
+class TestFCN8s:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return FCN8s(width=8, rng=np.random.default_rng(1))
+
+    def test_output_matches_input_resolution(self, net):
+        x = np.random.default_rng(0).standard_normal((1, 3, 32, 32))
+        out = net(x)
+        assert out.shape == (1, 21, 32, 32)
+
+    def test_predict_classes(self, net):
+        x = np.random.default_rng(0).standard_normal((1, 3, 16, 16))
+        pred = net.predict(x)
+        assert pred.shape == (1, 16, 16)
+        assert pred.min() >= 0 and pred.max() < 21
+
+    def test_rejects_unaligned_input(self, net):
+        with pytest.raises(ShapeError):
+            net(np.zeros((1, 3, 30, 30)))
+
+    def test_deconvs_are_bilinear(self, net):
+        w = net.upscore_final.weight
+        assert not w[:, :, 0, 1].any()  # diagonal channel structure
+
+    def test_contains_three_upsampling_stages(self, net):
+        from repro.system.network_mapper import extract_deconv_layers
+
+        layers = extract_deconv_layers(net, 4, 4)
+        assert len(layers) == 3
+        assert all(l.spec.stride == 2 for l in layers)
+
+    def test_deterministic(self):
+        a = FCN8s(width=8, rng=np.random.default_rng(7))
+        b = FCN8s(width=8, rng=np.random.default_rng(7))
+        x = np.random.default_rng(2).standard_normal((1, 3, 16, 16))
+        np.testing.assert_array_equal(a(x), b(x))
+
+
+class TestDiscriminator:
+    def test_scores_in_unit_interval(self):
+        disc = DCGANDiscriminator(rng=np.random.default_rng(3))
+        x = np.random.default_rng(4).standard_normal((2, 3, 64, 64))
+        scores = disc(x)
+        assert scores.shape == (2,)
+        assert (scores >= 0.0).all() and (scores <= 1.0).all()
+
+    def test_rejects_wrong_resolution(self):
+        disc = DCGANDiscriminator()
+        with pytest.raises(ShapeError):
+            disc(np.zeros((1, 3, 32, 32)))
+
+
+class TestRoundTrip:
+    def test_generator_discriminator_pair(self):
+        images, scores = gan_round_trip(batch=1, seed=0)
+        assert images.shape == (1, 3, 64, 64)
+        assert np.abs(images).max() <= 1.0
+        assert scores.shape == (1,)
+
+    def test_deterministic(self):
+        _, a = gan_round_trip(batch=1, seed=5)
+        _, b = gan_round_trip(batch=1, seed=5)
+        np.testing.assert_array_equal(a, b)
