@@ -1,0 +1,26 @@
+# Tier-1 verification targets (mirrored by .github/workflows/ci.yml).
+#
+#   make test        - full test suite (collection regressions fail fast)
+#   make bench-smoke - quick-mode batch-engine benchmark (ISSUE-1 gate)
+#   make bench       - full benchmark suite with reproduced paper tables
+#   make verify      - what CI runs
+
+PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+export PYTHONPATH
+
+.PHONY: test bench-smoke bench verify
+
+test:
+	python -m pytest -x -q
+
+bench-smoke:
+	RED_BENCH_QUICK=1 python -m pytest benchmarks/bench_batch_engine.py -q
+
+# bench_batch_engine.py times wall-clock manually (no pytest-benchmark
+# fixture), so --benchmark-only would skip it; run it separately to keep
+# the full-mode >=5x speedup gate in the target.
+bench:
+	python -m pytest benchmarks/ -o python_files="bench_*.py" --benchmark-only -s
+	python -m pytest benchmarks/bench_batch_engine.py -q -s
+
+verify: test bench-smoke

@@ -11,6 +11,8 @@ Usage::
     python -m repro fig9              # area comparison
     python -m repro tradeoff          # Sec. III-C fold sweep (FCN_Deconv2)
     python -m repro network SNGAN     # whole-generator evaluation
+    python -m repro sweep --jobs 4 --cache ~/.cache/red-sweeps
+                                      # stride sweep on the parallel runner
 """
 
 from __future__ import annotations
@@ -58,7 +60,36 @@ def _cmd_tradeoff() -> str:
     )
 
 
-def _cmd_network(name: str) -> str:
+def _cmd_sweep(args) -> str:
+    from repro.errors import ParameterError
+    from repro.eval.sweeps import quadratic_fit_exponent, stride_speedup_sweep
+    from repro.utils.formatting import render_ascii_table
+
+    try:
+        strides = tuple(int(s) for s in args.strides.split(","))
+    except ValueError:
+        raise ParameterError(
+            f"--strides must be comma-separated integers, got {args.strides!r}"
+        ) from None
+    points = stride_speedup_sweep(
+        strides=strides, jobs=args.jobs, cache=args.cache
+    )
+    rows = [
+        (p.stride, p.modes, p.cycles_zp, p.cycles_red, f"{p.speedup:.2f}x")
+        for p in points
+    ]
+    table = render_ascii_table(
+        ("stride", "modes (s^2)", "ZP cycles", "RED cycles", "speedup"),
+        rows,
+        title=f"Sec. III-C stride sweep (jobs={args.jobs})",
+    )
+    if len([p for p in points if p.stride > 1]) >= 2:
+        exponent = quadratic_fit_exponent(points)
+        table += f"\nfitted exponent: speedup ~ stride^{exponent:.2f}"
+    return table
+
+
+def _cmd_network(name: str, jobs: int = 1, cache: str | None = None) -> str:
     import numpy as np
 
     from repro.system import evaluate_network, pipeline_network, provision_chip
@@ -70,7 +101,7 @@ def _cmd_network(name: str) -> str:
     from repro.workloads.networks import build_network
 
     network = build_network(name, rng=np.random.default_rng(0))
-    evaluation = evaluate_network(network, 1, 1)
+    evaluation = evaluate_network(network, 1, 1, jobs=jobs, cache=cache)
     rows = []
     for design in ("zero-padding", "padding-free", "RED"):
         report = pipeline_network(evaluation, design, batch=16)
@@ -111,6 +142,19 @@ def main(argv: list[str] | None = None) -> int:
         default="SNGAN",
         help="workload network (DCGAN, 'Improved GAN', SNGAN, 'voc-fcn8s 8x')",
     )
+    sweep = sub.add_parser(
+        "sweep", help="stride-speedup sweep on the parallel runner"
+    )
+    sweep.add_argument(
+        "--strides", default="1,2,4,8", help="comma-separated strides"
+    )
+    for cmd in (network, sweep):
+        cmd.add_argument(
+            "--jobs", type=int, default=1, help="process-pool workers (1 = inline)"
+        )
+        cmd.add_argument(
+            "--cache", default=None, help="on-disk sweep result cache directory"
+        )
     args = parser.parse_args(argv)
 
     if args.command == "report":
@@ -146,8 +190,10 @@ def main(argv: list[str] | None = None) -> int:
         print(render_padded_map(DeconvSpec(4, 4, 1, 4, 4, 1, stride=2, padding=1)))
         print()
         print(render_cycle_table(example, num_cycles=2))
+    elif args.command == "sweep":
+        print(_cmd_sweep(args))
     elif args.command == "network":
-        print(_cmd_network(args.name))
+        print(_cmd_network(args.name, jobs=args.jobs, cache=args.cache))
     return 0
 
 

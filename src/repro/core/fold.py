@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.core.mapping import SubCrossbarTensor
 from repro.deconv.modes import decompose_modes
-from repro.errors import MappingError
+from repro.errors import MappingError, ParameterError
 from repro.utils.validation import check_positive_int
 
 
@@ -78,36 +78,60 @@ def choose_fold(spec, max_sub_crossbars: int = 128) -> int:
     return fold
 
 
-def fold_sct(sct: SubCrossbarTensor, fold: int) -> FoldedSCT:
-    """Stack taps ``fold``-deep into physical SCs (Eq. 2 geometry).
+def resolve_fold(spec, fold: int | str, max_sub_crossbars: int = 128) -> int:
+    """The single ``'auto'``/int fold-resolution rule.
+
+    Shared by :class:`~repro.core.red_design.REDDesign`, the batch engine
+    and the parallel runner so the accepted values can never diverge.
+    """
+    if fold == "auto":
+        return choose_fold(spec, max_sub_crossbars)
+    if isinstance(fold, int) and fold >= 1:
+        return fold
+    raise ParameterError(f"fold must be 'auto' or an int >= 1, got {fold!r}")
+
+
+def fold_tap_slots(spec, fold: int) -> tuple[tuple[int | None, ...], ...]:
+    """Eq. 2 tap-to-slot geometry: ``result[n][f]`` is the flat tap index
+    stored in slot ``f`` of physical SC ``n`` (or ``None`` padding).
 
     Taps are grouped mode-by-mode so bitline-sharing groups stay intact:
-    folding merges taps that would be summed anyway.
+    folding merges taps that would be summed anyway.  Shared by
+    :func:`fold_sct` (which adds the weight data) and the cycle engine's
+    schedule compiler (which only needs the geometry).
     """
     check_positive_int(fold, "fold")
-    c, m, taps = sct.data.shape
+    taps = spec.num_kernel_taps
     # Mode-major tap order keeps folded partners within one summation group.
     ordered: list[int] = []
-    for mode in decompose_modes(sct.spec):
-        ordered.extend(kh * sct.spec.kernel_width + kw for kh, kw in mode.taps)
+    for mode in decompose_modes(spec):
+        ordered.extend(kh * spec.kernel_width + kw for kh, kw in mode.taps)
     if sorted(ordered) != list(range(taps)):
         raise MappingError("mode decomposition does not partition the taps")
-
     num_phys = -(-taps // fold)
-    data = np.zeros((fold * c, m, num_phys), dtype=sct.data.dtype)
-    tap_slots: list[tuple[int | None, ...]] = []
-    for n in range(num_phys):
-        slots: list[int | None] = []
-        for f in range(fold):
-            idx = n * fold + f
-            if idx < taps:
-                tap = ordered[idx]
+    return tuple(
+        tuple(
+            ordered[n * fold + f] if n * fold + f < taps else None
+            for f in range(fold)
+        )
+        for n in range(num_phys)
+    )
+
+
+def fold_sct(sct: SubCrossbarTensor, fold: int) -> FoldedSCT:
+    """Stack taps ``fold``-deep into physical SCs (Eq. 2 geometry)."""
+    tap_slots = fold_tap_slots(sct.spec, fold)
+    c, m, taps = sct.data.shape
+    if taps != sct.spec.num_kernel_taps:
+        raise MappingError(
+            f"SCT holds {taps} taps but the spec has {sct.spec.num_kernel_taps}"
+        )
+    data = np.zeros((fold * c, m, len(tap_slots)), dtype=sct.data.dtype)
+    for n, slots in enumerate(tap_slots):
+        for f, tap in enumerate(slots):
+            if tap is not None:
                 data[f * c : (f + 1) * c, :, n] = sct.data[:, :, tap]
-                slots.append(tap)
-            else:
-                slots.append(None)
-        tap_slots.append(tuple(slots))
-    return FoldedSCT(data=data, tap_slots=tuple(tap_slots), fold=fold, base=sct)
+    return FoldedSCT(data=data, tap_slots=tap_slots, fold=fold, base=sct)
 
 
 def unfold_sct(folded: FoldedSCT) -> SubCrossbarTensor:

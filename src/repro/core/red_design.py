@@ -19,13 +19,12 @@ import numpy as np
 
 from repro.arch.perf_input import DecoderBank, DesignPerfInput
 from repro.core.dataflow import ZeroSkippingSchedule, red_cycle_count
-from repro.core.fold import FoldedSCT, choose_fold, fold_sct
+from repro.core.fold import FoldedSCT, fold_sct, resolve_fold
 from repro.core.mapping import build_sct
 from repro.deconv.analysis import useful_mac_count
 from repro.deconv.modes import decompose_modes, max_taps_per_mode
 from repro.deconv.shapes import DeconvSpec
 from repro.designs.base import DeconvDesign, FunctionalRun
-from repro.errors import ParameterError
 from repro.reram.bitslice import WeightSlicing
 from repro.reram.pipeline import CrossbarPipeline
 from repro.arch.tech import TechnologyParams
@@ -44,12 +43,7 @@ class REDDesign(DeconvDesign):
         max_sub_crossbars: int = 128,
     ) -> None:
         super().__init__(spec, tech)
-        if fold == "auto":
-            self.fold = choose_fold(spec, max_sub_crossbars)
-        elif isinstance(fold, int) and fold >= 1:
-            self.fold = fold
-        else:
-            raise ParameterError(f"fold must be 'auto' or an int >= 1, got {fold!r}")
+        self.fold = resolve_fold(spec, fold, max_sub_crossbars)
         self.max_sub_crossbars = max_sub_crossbars
         self.schedule = ZeroSkippingSchedule(spec)
         self._modes = decompose_modes(spec)

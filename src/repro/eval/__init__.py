@@ -6,9 +6,19 @@
 * :mod:`repro.eval.paper_targets` — the published numbers and the bands we
   assert against.
 * :mod:`repro.eval.report` — formatted text/CSV emission.
+* :mod:`repro.eval.parallel` — process-pool sweep runner + on-disk
+  result cache every sweep routes through.
+* :mod:`repro.eval.sweeps` — prose-claim parameter sweeps.
 """
 
 from repro.eval.harness import EvaluationGrid, run_grid, DESIGN_ORDER
+from repro.eval.parallel import (
+    DesignJob,
+    SweepCache,
+    evaluate_design_job,
+    job_key,
+    run_design_jobs,
+)
 from repro.eval.figures import (
     fig4_redundancy_curves,
     fig7_latency,
@@ -29,6 +39,11 @@ __all__ = [
     "EvaluationGrid",
     "run_grid",
     "DESIGN_ORDER",
+    "DesignJob",
+    "SweepCache",
+    "evaluate_design_job",
+    "job_key",
+    "run_design_jobs",
     "fig4_redundancy_curves",
     "fig7_latency",
     "fig8_energy",

@@ -8,14 +8,18 @@ reported relative to the zero-padding design.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.arch.breakdown import DesignMetrics
 from repro.arch.tech import TechnologyParams, default_tech
-from repro.core.red_design import REDDesign
 from repro.designs.base import DeconvDesign
-from repro.designs.padding_free_design import PaddingFreeDesign
-from repro.designs.zero_padding_design import ZeroPaddingDesign
+from repro.eval.parallel import (
+    DesignJob,
+    SweepCache,
+    build_design_for_job,
+    run_design_jobs,
+)
 from repro.workloads.specs import TABLE_I_LAYERS, BenchmarkLayer
 
 #: Presentation order used in every figure (baseline first).
@@ -25,14 +29,14 @@ DESIGN_ORDER: tuple[str, ...] = ("zero-padding", "padding-free", "RED")
 def build_design(
     name: str, layer: BenchmarkLayer, tech: TechnologyParams | None = None
 ) -> DeconvDesign:
-    """Instantiate one of the three designs for a benchmark layer."""
-    if name == "zero-padding":
-        return ZeroPaddingDesign(layer.spec, tech)
-    if name == "padding-free":
-        return PaddingFreeDesign(layer.spec, tech)
-    if name == "RED":
-        return REDDesign(layer.spec, tech)
-    raise KeyError(f"unknown design {name!r}; choose from {DESIGN_ORDER}")
+    """Instantiate one of the three designs for a benchmark layer.
+
+    Thin wrapper over :func:`repro.eval.parallel.build_design_for_job`, the
+    single name-to-design dispatch.
+    """
+    return build_design_for_job(
+        DesignJob(name, layer.spec, tech or default_tech(), layer_name=layer.name)
+    )
 
 
 @dataclass
@@ -72,15 +76,25 @@ class EvaluationGrid:
 def run_grid(
     layers: tuple[BenchmarkLayer, ...] | None = None,
     tech: TechnologyParams | None = None,
+    jobs: int = 1,
+    cache: SweepCache | str | os.PathLike | None = None,
 ) -> EvaluationGrid:
-    """Evaluate all designs over ``layers`` (default: all of Table I)."""
+    """Evaluate all designs over ``layers`` (default: all of Table I).
+
+    The grid is flattened into :class:`~repro.eval.parallel.DesignJob`
+    entries and routed through
+    :func:`~repro.eval.parallel.run_design_jobs`, so ``jobs`` parallelizes
+    the evaluation and ``cache`` persists it across runs.
+    """
     layers = layers or TABLE_I_LAYERS
     tech = tech or default_tech()
+    design_jobs = [
+        DesignJob(design_name, layer.spec, tech, layer_name=layer.name)
+        for layer in layers
+        for design_name in DESIGN_ORDER
+    ]
+    evaluated = run_design_jobs(design_jobs, num_workers=jobs, cache=cache)
     metrics: dict[str, dict[str, DesignMetrics]] = {}
-    for layer in layers:
-        row: dict[str, DesignMetrics] = {}
-        for design_name in DESIGN_ORDER:
-            design = build_design(design_name, layer, tech)
-            row[design_name] = design.evaluate(layer.name)
-        metrics[layer.name] = row
+    for job, result in zip(design_jobs, evaluated):
+        metrics.setdefault(job.layer_name, {})[job.design] = result
     return EvaluationGrid(metrics=metrics, layers=tuple(layers), tech=tech)

@@ -1,0 +1,266 @@
+"""Process-parallel sweep execution with an on-disk result cache.
+
+Architecture
+------------
+Every sweep in the repo — the stride sweep (:mod:`repro.eval.sweeps`),
+the design x layer grid (:mod:`repro.eval.harness`) and whole-network
+evaluation (:mod:`repro.system.network_mapper` /
+:mod:`repro.system.pipeline`) — reduces to a flat list of independent
+*(design, spec, tech, fold)* evaluations.  This module is the single
+execution substrate for that list:
+
+1. :class:`DesignJob` — a frozen, picklable description of one
+   evaluation.  ``fold=None`` means "the design's own default" (RED
+   resolves it to ``'auto'``); the other designs ignore the field.
+2. :func:`evaluate_design_job` — the pure worker: build the design,
+   run its analytical model, return the :class:`DesignMetrics`.  It is a
+   module-level function so :class:`concurrent.futures.ProcessPoolExecutor`
+   can pickle it.
+3. :class:`SweepCache` — an on-disk result store keyed by
+   :func:`job_key`, a SHA-256 over the canonical field-by-field
+   representation of ``(design, fold, spec, tech)`` plus a schema
+   version.  Changing *any* field of the spec or of
+   :class:`~repro.arch.tech.TechnologyParams` changes the key, so stale
+   results can never be served after a calibration tweak
+   (``tests/eval/test_sweep_cache.py``).  Writes are atomic
+   (temp file + ``os.replace``) so concurrent workers can share one
+   cache directory.
+4. :func:`run_design_jobs` — the sweep runner.  Cache hits are resolved
+   first; the misses run either inline (``num_workers <= 1``) or on a
+   process pool in deterministic chunks.  Results always come back in
+   job order, byte-identical regardless of worker count or cache
+   temperature (``tests/properties/test_parallel_determinism.py``).
+
+How benchmarks should use it
+----------------------------
+Build the job list once, pass ``num_workers``/``cache`` through from the
+CLI (``repro sweep --jobs N --cache DIR``), and time
+:func:`run_design_jobs` itself — see
+``benchmarks/bench_batch_engine.py`` for the reference comparison
+against the sequential path.  A warm cache makes repeated sweeps
+near-free, so benchmark cold and warm separately.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+
+from repro.arch.breakdown import DesignMetrics
+from repro.arch.tech import TechnologyParams
+from repro.core.red_design import REDDesign
+from repro.deconv.shapes import DeconvSpec
+from repro.designs.base import DeconvDesign
+from repro.designs.padding_free_design import PaddingFreeDesign
+from repro.designs.zero_padding_design import ZeroPaddingDesign
+from repro.errors import ParameterError
+
+#: Bump when the cached payload or key layout changes shape.
+CACHE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class DesignJob:
+    """One (design, layer, technology) evaluation request.
+
+    Attributes:
+        design: design name (``zero-padding`` / ``padding-free`` / ``RED``).
+        spec: the layer shape.
+        tech: the concrete technology instance (no ``None`` default here —
+            cache keys must be explicit).
+        fold: RED's Eq. 2 fold, ``'auto'``, or ``None`` for the design
+            default; ignored by the baseline designs.
+        layer_name: label carried into the resulting metrics (not part of
+            the cache key — identical shapes share one cached result).
+    """
+
+    design: str
+    spec: DeconvSpec
+    tech: TechnologyParams
+    fold: int | str | None = None
+    layer_name: str = ""
+
+
+def _canonical_fold(job: DesignJob) -> int | str | None:
+    """Fold as it actually affects the evaluation.
+
+    The baseline designs ignore the field entirely (canonical ``None``);
+    for RED, ``None`` is an alias of ``'auto'``.  Canonicalizing before
+    hashing lets semantically identical jobs share a cache entry.
+    """
+    if job.design != "RED":
+        return None
+    return "auto" if job.fold is None else job.fold
+
+
+def job_key(job: DesignJob) -> str:
+    """Stable content hash of ``(design, fold, spec, tech)``.
+
+    Field-by-field over the frozen dataclasses so any change to any
+    parameter — including a single calibration constant — produces a new
+    key.  Deliberately independent of ``layer_name`` (a label, not an
+    input) and of process/interpreter state; ``fold`` is canonicalized
+    via :func:`_canonical_fold`.
+    """
+    parts = [
+        f"schema={CACHE_SCHEMA_VERSION}",
+        f"design={job.design}",
+        f"fold={_canonical_fold(job)!r}",
+    ]
+    for obj in (job.spec, job.tech):
+        parts.append(type(obj).__name__)
+        parts.extend(f"{f.name}={getattr(obj, f.name)!r}" for f in fields(obj))
+    return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
+
+
+def build_design_for_job(job: DesignJob) -> DeconvDesign:
+    """Instantiate the accelerator design a job describes."""
+    if job.design == "zero-padding":
+        return ZeroPaddingDesign(job.spec, job.tech)
+    if job.design == "padding-free":
+        return PaddingFreeDesign(job.spec, job.tech)
+    if job.design == "RED":
+        fold = "auto" if job.fold is None else job.fold
+        return REDDesign(job.spec, job.tech, fold=fold)
+    raise KeyError(
+        f"unknown design {job.design!r}; choose from "
+        "('zero-padding', 'padding-free', 'RED')"
+    )
+
+
+def evaluate_design_job(job: DesignJob) -> DesignMetrics:
+    """The pure worker: evaluate one job's analytical model."""
+    return build_design_for_job(job).evaluate(job.layer_name)
+
+
+class SweepCache:
+    """On-disk :class:`DesignMetrics` store, one pickle per job key.
+
+    Safe for concurrent writers (atomic replace); tracks hit/miss/store
+    statistics for tests and benchmark reporting.
+    """
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, job: DesignJob) -> Path:
+        """Cache file backing a job."""
+        return self.directory / f"{job_key(job)}.pkl"
+
+    def get(self, job: DesignJob) -> DesignMetrics | None:
+        """Cached metrics for a job, relabelled to the job's layer name."""
+        path = self.path_for(job)
+        try:
+            payload = path.read_bytes()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        try:
+            metrics = pickle.loads(payload)
+            if not isinstance(metrics, DesignMetrics):
+                raise TypeError(f"unexpected cache payload {type(metrics)}")
+            relabelled = replace(metrics, layer=job.layer_name)
+        except Exception:
+            # A truncated, corrupt, or shape-skewed entry (e.g. pickled
+            # before a DesignMetrics field change) is a miss; it will be
+            # rewritten with the current schema.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return relabelled
+
+    def put(self, job: DesignJob, metrics: DesignMetrics) -> None:
+        """Store a result atomically under the job's key."""
+        path = self.path_for(job)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(pickle.dumps(metrics, protocol=pickle.HIGHEST_PROTOCOL))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+
+def _coerce_cache(cache: SweepCache | str | os.PathLike | None) -> SweepCache | None:
+    if cache is None or isinstance(cache, SweepCache):
+        return cache
+    return SweepCache(os.path.expanduser(os.fspath(cache)))
+
+
+def run_design_jobs(
+    jobs: list[DesignJob] | tuple[DesignJob, ...],
+    num_workers: int = 1,
+    cache: SweepCache | str | os.PathLike | None = None,
+    chunk_size: int | None = None,
+) -> list[DesignMetrics]:
+    """Evaluate every job, in order, optionally cached and in parallel.
+
+    Args:
+        jobs: the flat work list.
+        num_workers: ``<= 1`` runs inline (no pool, no pickling); larger
+            values fan the cache misses out over a process pool.
+        cache: a :class:`SweepCache`, a directory path, or ``None``.
+        chunk_size: jobs per pool task — amortizes pickling overhead.
+            Default (``None``) splits the unique misses evenly over the
+            workers so small sweeps still use every worker.
+
+    Returns:
+        ``DesignMetrics`` in the same order as ``jobs``, independent of
+        worker count and cache state.  Jobs sharing a :func:`job_key`
+        (identical shape/tech, labels aside) are evaluated once and the
+        result fanned out relabelled.
+    """
+    jobs = list(jobs)
+    if num_workers < 1:
+        raise ParameterError(f"num_workers must be >= 1, got {num_workers}")
+    if chunk_size is not None and chunk_size < 1:
+        raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+    cache = _coerce_cache(cache)
+    results: list[DesignMetrics | None] = [None] * len(jobs)
+    pending: list[int] = []
+    for index, job in enumerate(jobs):
+        if cache is not None:
+            hit = cache.get(job)
+            if hit is not None:
+                results[index] = hit
+                continue
+        pending.append(index)
+    if pending:
+        # Identical (design, fold, spec, tech) jobs are computed once and
+        # fanned out (relabelled per requesting job), cold cache or not.
+        groups: dict[str, list[int]] = {}
+        for index in pending:
+            groups.setdefault(job_key(jobs[index]), []).append(index)
+        unique_jobs = [jobs[indices[0]] for indices in groups.values()]
+        if num_workers == 1 or len(unique_jobs) == 1:
+            computed = [evaluate_design_job(job) for job in unique_jobs]
+        else:
+            chunksize = chunk_size or max(1, -(-len(unique_jobs) // num_workers))
+            with ProcessPoolExecutor(max_workers=num_workers) as pool:
+                computed = list(
+                    pool.map(evaluate_design_job, unique_jobs, chunksize=chunksize)
+                )
+        for indices, job, metrics in zip(groups.values(), unique_jobs, computed):
+            if cache is not None:
+                cache.put(job, metrics)
+            for index in indices:
+                results[index] = (
+                    metrics
+                    if jobs[index].layer_name == job.layer_name
+                    else replace(metrics, layer=jobs[index].layer_name)
+                )
+    return results  # type: ignore[return-value]

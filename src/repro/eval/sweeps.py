@@ -8,13 +8,13 @@ the ablation benchmarks.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
-from repro.arch.tech import TechnologyParams
-from repro.core.red_design import REDDesign
+from repro.arch.tech import TechnologyParams, default_tech
 from repro.deconv.shapes import DeconvSpec
-from repro.designs.zero_padding_design import ZeroPaddingDesign
 from repro.errors import ParameterError
+from repro.eval.parallel import DesignJob, SweepCache, run_design_jobs
 
 
 @dataclass(frozen=True)
@@ -42,6 +42,8 @@ def stride_speedup_sweep(
     filters: int = 32,
     tech: TechnologyParams | None = None,
     fold: int | str = 1,
+    jobs: int = 1,
+    cache: SweepCache | str | os.PathLike | None = None,
 ) -> list[StrideSweepPoint]:
     """Measure RED's speedup as the stride grows (FCN convention K=2s).
 
@@ -49,11 +51,17 @@ def stride_speedup_sweep(
     the stride exactly as the paper describes, and ``fold=1`` so the raw
     ``stride^2`` parallelism is visible (pass ``fold='auto'`` to see the
     folded, area-capped variant).
+
+    Routed through :func:`repro.eval.parallel.run_design_jobs`: ``jobs``
+    fans the per-stride evaluations over a process pool and ``cache``
+    makes repeated sweeps near-free.
     """
     if not strides:
         raise ParameterError("strides must be non-empty")
-    points = []
-    for s in sorted(set(strides)):
+    tech = tech or default_tech()
+    ordered = sorted(set(strides))
+    design_jobs: list[DesignJob] = []
+    for s in ordered:
         k = max(2 * s, 2)
         p = s // 2
         spec = DeconvSpec(
@@ -62,15 +70,22 @@ def stride_speedup_sweep(
             kernel_height=k, kernel_width=k, out_channels=filters,
             stride=s, padding=p,
         )
-        red = REDDesign(spec, tech=tech, fold=fold)
-        zp = ZeroPaddingDesign(spec, tech=tech)
-        red_metrics = red.evaluate(f"stride{s}")
-        zp_metrics = zp.evaluate(f"stride{s}")
+        design_jobs.append(
+            DesignJob("RED", spec, tech, fold=fold, layer_name=f"stride{s}")
+        )
+        design_jobs.append(
+            DesignJob("zero-padding", spec, tech, layer_name=f"stride{s}")
+        )
+    metrics = run_design_jobs(design_jobs, num_workers=jobs, cache=cache)
+    points = []
+    for index, s in enumerate(ordered):
+        red_metrics = metrics[2 * index]
+        zp_metrics = metrics[2 * index + 1]
         points.append(
             StrideSweepPoint(
                 stride=s,
                 modes=s * s,
-                cycles_red=red.cycles,
+                cycles_red=red_metrics.cycles,
                 cycles_zp=zp_metrics.cycles,
                 speedup=red_metrics.speedup_over(zp_metrics),
             )

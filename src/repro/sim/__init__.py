@@ -1,7 +1,28 @@
-"""Cycle-level simulation utilities: counters, traces, instrumented runs."""
+"""Cycle-level simulation utilities: counters, traces, instrumented runs,
+and the batched multi-job engine."""
 
 from repro.sim.counters import CounterSet
 from repro.sim.trace import Trace, TraceEvent
-from repro.sim.engine import CycleEngine, InstrumentedRun
+from repro.sim.engine import (
+    CompiledSchedule,
+    CycleEngine,
+    InstrumentedRun,
+    clear_compiled_schedules,
+    compile_schedule,
+)
+from repro.sim.batch import BatchEngine, BatchJob, BatchJobResult, BatchResult
 
-__all__ = ["CounterSet", "Trace", "TraceEvent", "CycleEngine", "InstrumentedRun"]
+__all__ = [
+    "CounterSet",
+    "Trace",
+    "TraceEvent",
+    "CompiledSchedule",
+    "CycleEngine",
+    "InstrumentedRun",
+    "clear_compiled_schedules",
+    "compile_schedule",
+    "BatchEngine",
+    "BatchJob",
+    "BatchJobResult",
+    "BatchResult",
+]

@@ -1,0 +1,156 @@
+"""Batched cycle-level simulation of many ``(spec, fold)`` jobs.
+
+Sweeps and benchmarks evaluate dozens of layer shapes; running each one
+through a fresh scalar schedule walk made the cycle engine the repo's
+hottest Python loop.  :class:`BatchEngine` runs a whole list of
+:class:`BatchJob` entries through the (now vectorized)
+:class:`~repro.sim.engine.CycleEngine`, reusing the LRU-cached compiled
+schedule whenever jobs share a ``(spec, fold)`` pair, and aggregates the
+per-job counters into a :class:`BatchResult`.
+
+The engine is *bit-identical* to running each job through
+``CycleEngine.run`` by hand — same code path, same compiled schedule —
+which ``tests/sim/test_batch_engine.py`` asserts exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.fold import resolve_fold
+from repro.deconv.shapes import DeconvSpec
+from repro.errors import ParameterError, ShapeError
+from repro.sim.counters import CounterSet
+from repro.sim.engine import CycleEngine
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One layer execution request.
+
+    Attributes:
+        spec: layer specification.
+        fold: Eq. 2 interleave factor, or ``'auto'`` for the area-capped
+            choice (same rule as :class:`~repro.core.red_design.REDDesign`).
+        seed: RNG seed used to synthesize operands when none are supplied.
+        label: free-form tag carried through to the result.
+    """
+
+    spec: DeconvSpec
+    fold: int | str = 1
+    seed: int = 0
+    label: str = ""
+
+    def resolved_fold(self, max_sub_crossbars: int = 128) -> int:
+        """The concrete fold this job runs with (shared resolution rule)."""
+        return resolve_fold(self.spec, self.fold, max_sub_crossbars)
+
+
+@dataclass
+class BatchJobResult:
+    """Output of one job within a batch."""
+
+    job: BatchJob
+    fold: int
+    output: np.ndarray
+    cycles: int
+    counters: dict[str, int]
+
+
+@dataclass
+class BatchResult:
+    """Per-job results plus batch-level aggregate statistics."""
+
+    results: list[BatchJobResult] = field(default_factory=list)
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.results)
+
+    @property
+    def total_cycles(self) -> int:
+        """Sum of compute rounds over every job."""
+        return sum(r.cycles for r in self.results)
+
+    def merged_counters(self) -> CounterSet:
+        """All per-job activity counters summed into one set."""
+        merged = CounterSet()
+        for result in self.results:
+            for name, value in result.counters.items():
+                merged.add(name, value)
+        return merged
+
+    def summary(self) -> dict[str, float]:
+        """Aggregate statistics for reports and benchmarks."""
+        counters = self.merged_counters()
+        jobs = max(self.num_jobs, 1)
+        return {
+            "jobs": self.num_jobs,
+            "total_cycles": self.total_cycles,
+            "mean_cycles_per_job": self.total_cycles / jobs,
+            "sc_fires": counters.get("sc_fire"),
+            "buffer_reads": counters.get("buffer_reads"),
+            "live_rows": counters.get("live_rows"),
+            "output_pixels": counters.get("output_pixels"),
+        }
+
+
+class BatchEngine:
+    """Run many jobs through the cycle engine with shared compilation.
+
+    Args:
+        max_sub_crossbars: SC budget used to resolve ``fold='auto'``.
+        trace_limit: per-job trace budget; the default ``0`` skips trace
+            replay on the hot path (counters are still exact).
+    """
+
+    def __init__(self, max_sub_crossbars: int = 128, trace_limit: int = 0) -> None:
+        self.max_sub_crossbars = max_sub_crossbars
+        self.trace_limit = trace_limit
+
+    def operands_for(self, job: BatchJob) -> tuple[np.ndarray, np.ndarray]:
+        """Deterministic synthetic operands for a job (seeded normal)."""
+        rng = np.random.default_rng(job.seed)
+        x = rng.normal(size=job.spec.input_shape)
+        w = rng.normal(size=job.spec.kernel_shape)
+        return x, w
+
+    def run(
+        self,
+        jobs: list[BatchJob] | tuple[BatchJob, ...],
+        operands: list[tuple[np.ndarray, np.ndarray]] | None = None,
+    ) -> BatchResult:
+        """Execute every job in order and collect the batch result.
+
+        Args:
+            jobs: the work list; jobs sharing ``(spec, fold)`` reuse one
+                compiled schedule.
+            operands: optional explicit ``(x, w)`` pairs, one per job;
+                omitted entries are synthesized from ``job.seed``.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            raise ParameterError("jobs must be non-empty")
+        if operands is not None and len(operands) != len(jobs):
+            raise ShapeError(
+                f"got {len(operands)} operand pairs for {len(jobs)} jobs"
+            )
+        results: list[BatchJobResult] = []
+        for index, job in enumerate(jobs):
+            x, w = operands[index] if operands is not None else self.operands_for(job)
+            fold = job.resolved_fold(self.max_sub_crossbars)
+            # Schedule reuse across same-shape jobs happens inside run()
+            # via compile_schedule's LRU cache; engines are stateless.
+            run = CycleEngine(job.spec, fold=fold, trace_limit=self.trace_limit).run(x, w)
+            results.append(
+                BatchJobResult(
+                    job=job,
+                    fold=fold,
+                    output=run.output,
+                    cycles=run.cycles,
+                    counters=run.counters.as_dict(),
+                )
+            )
+        return BatchResult(results=results)

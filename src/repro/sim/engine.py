@@ -6,22 +6,171 @@ sub-crossbar tensor while recording a :class:`Trace` and a
 counts are validated against (``tests/integration``).  The arithmetic is
 identical to :meth:`repro.core.red_design.REDDesign.run_cycle_accurate`;
 this engine adds observability rather than a second semantics.
+
+The schedule walk is *compiled* once per ``(spec, fold)`` pair into flat
+NumPy index arrays (:func:`compile_schedule`, LRU-cached) and the MAC
+accumulation is executed as one batched matmul per kernel tap instead of
+one Python-level matvec per (round, fold, sub-crossbar) event.  With
+tracing disabled (``trace_limit=0`` — the
+:class:`~repro.sim.batch.BatchEngine` hot path), repeated runs over the
+same layer shape skip the Python walk entirely; a traced run still
+streams one scalar walk per call into its bounded event ring.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
 from repro.core.dataflow import ZeroSkippingSchedule
-from repro.core.fold import fold_sct
+from repro.core.fold import fold_sct, fold_tap_slots
 from repro.core.mapping import build_sct
 from repro.deconv.modes import decompose_modes
 from repro.deconv.shapes import DeconvSpec
 from repro.errors import ShapeError
 from repro.sim.counters import CounterSet
 from repro.sim.trace import Trace
+
+
+@dataclass(frozen=True)
+class TapGroup:
+    """All fire events of one kernel tap, batched for vector execution.
+
+    Attributes:
+        tap: flat tap index ``kh * KW + kw``.
+        phys: physical sub-crossbar holding the tap.
+        slot: Eq. 2 fold slot of the tap within ``phys``.
+        pixels: flat input-pixel index (``ih * IW + iw``) per event.
+        outputs: flat output-pixel index (``oy * OW + ox``) per event;
+            unique within a group (one block writes one pixel per mode).
+    """
+
+    tap: int
+    phys: int
+    slot: int
+    pixels: np.ndarray
+    outputs: np.ndarray
+
+
+@dataclass(frozen=True)
+class CompiledSchedule:
+    """The zero-skipping schedule lowered to flat event arrays.
+
+    Weight-independent: depends only on ``(spec, fold)``, so one compiled
+    schedule serves every run over the same layer shape.  Holds only what
+    the math and counters need; per-event trace data is never stored here
+    — traced runs stream :func:`_walk_events` straight into the bounded
+    trace ring instead.
+    """
+
+    spec: DeconvSpec
+    fold: int
+    num_slots: int
+    cycles: int
+    tap_groups: tuple[TapGroup, ...]
+    num_fires: int
+    sc_idle: int
+    buffer_reads: int
+    output_pixels: int
+
+
+def _walk_events(spec: DeconvSpec, fold: int):
+    """Generate the scalar walk's events, one at a time, in exact order.
+
+    Yields ``('fetch', slot, pixel)``, ``('idle', slot, f)``,
+    ``('fire', slot, f, n, tap, pixel, target)`` and
+    ``('write', slot, (oy, ox, mode))`` — the single source of truth both
+    for schedule compilation and for trace replay, without ever
+    materializing the full event list.
+    """
+    schedule = ZeroSkippingSchedule(spec)
+    tap_slots = fold_tap_slots(spec, fold)
+    tap_mode = {
+        kh * spec.kernel_width + kw: idx
+        for idx, mode in enumerate(decompose_modes(spec))
+        for kh, kw in mode.taps
+    }
+    for slot_index, slot in enumerate(schedule.cycles()):
+        mode_target = {mode: (oy, ox) for oy, ox, mode in slot.outputs}
+        for pixel in slot.distinct_inputs:
+            yield ("fetch", slot_index, pixel)
+        for f in range(fold):
+            for n, slots in enumerate(tap_slots):
+                tap = slots[f]
+                if tap is None:
+                    continue
+                kh, kw = divmod(tap, spec.kernel_width)
+                pixel = slot.assignments.get((kh, kw))
+                if pixel is None:
+                    yield ("idle", slot_index, f)
+                    continue
+                target = mode_target.get(tap_mode[tap])
+                if target is None:
+                    yield ("idle", slot_index, f)
+                    continue
+                yield ("fire", slot_index, f, n, tap, pixel, target)
+        for out in slot.outputs:
+            yield ("write", slot_index, out)
+
+
+@lru_cache(maxsize=64)
+def compile_schedule(spec: DeconvSpec, fold: int) -> CompiledSchedule:
+    """Lower the schedule to batched index arrays (math + counters only).
+
+    Cached per ``(spec, fold)``; a compiled schedule's index arrays scale
+    with the layer's fire-event count, so long-lived processes sweeping
+    many large distinct shapes can call :func:`clear_compiled_schedules`
+    to release them.
+    """
+    iw, ow = spec.input_width, spec.output_width
+    per_tap: dict[int, tuple[int, int, list[int], list[int]]] = {}
+    num_fires = 0
+    buffer_reads = 0
+    output_pixels = 0
+    sc_idle = 0
+    for event in _walk_events(spec, fold):
+        kind = event[0]
+        if kind == "fire":
+            _, _slot, f, n, tap, pixel, target = event
+            entry = per_tap.setdefault(tap, (n, f, [], []))
+            entry[2].append(pixel[0] * iw + pixel[1])
+            entry[3].append(target[0] * ow + target[1])
+            num_fires += 1
+        elif kind == "fetch":
+            buffer_reads += 1
+        elif kind == "idle":
+            sc_idle += 1
+        else:
+            output_pixels += 1
+    blocks_y, blocks_x = ZeroSkippingSchedule(spec).num_blocks
+    num_slots = blocks_y * blocks_x
+    return CompiledSchedule(
+        spec=spec,
+        fold=fold,
+        num_slots=num_slots,
+        cycles=num_slots * fold,
+        tap_groups=tuple(
+            TapGroup(
+                tap=tap,
+                phys=n,
+                slot=f,
+                pixels=np.asarray(pixels, dtype=np.intp),
+                outputs=np.asarray(outputs, dtype=np.intp),
+            )
+            for tap, (n, f, pixels, outputs) in sorted(per_tap.items())
+        ),
+        num_fires=num_fires,
+        sc_idle=sc_idle,
+        buffer_reads=buffer_reads,
+        output_pixels=output_pixels,
+    )
+
+
+def clear_compiled_schedules() -> None:
+    """Release every cached compiled schedule (memory pressure valve)."""
+    compile_schedule.cache_clear()
 
 
 @dataclass
@@ -40,63 +189,75 @@ class CycleEngine:
     Args:
         spec: layer specification.
         fold: Eq. 2 interleave factor.
-        trace_limit: maximum retained trace events.
+        trace_limit: maximum retained trace events; ``0`` disables trace
+            replay entirely (counters are unaffected), which is what the
+            batch engine uses on its hot path.  A non-zero limit replays
+            one scalar schedule walk per ``run`` call to populate the
+            ring — pass ``0`` when you don't read the trace.
     """
 
     def __init__(self, spec: DeconvSpec, fold: int = 1, trace_limit: int = 100_000) -> None:
         self.spec = spec
         self.fold = fold
-        self.schedule = ZeroSkippingSchedule(spec)
         self.trace_limit = trace_limit
 
     def run(self, x: np.ndarray, w: np.ndarray) -> InstrumentedRun:
-        """Execute the layer, recording per-cycle events."""
+        """Execute the layer through the compiled, batched schedule."""
         spec = self.spec
         if tuple(x.shape) != spec.input_shape:
             raise ShapeError(f"input shape {x.shape} != spec {spec.input_shape}")
         if tuple(w.shape) != spec.kernel_shape:
             raise ShapeError(f"kernel shape {w.shape} != spec {spec.kernel_shape}")
+        compiled = compile_schedule(spec, self.fold)
         folded = fold_sct(build_sct(w.astype(np.float64, copy=False), spec), self.fold)
-        modes = decompose_modes(spec)
-        tap_mode = {
-            kh * spec.kernel_width + kw: idx
-            for idx, mode in enumerate(modes)
-            for kh, kw in mode.taps
-        }
         c = spec.in_channels
-        out = np.zeros(spec.output_shape, dtype=np.float64)
-        counters = CounterSet()
-        trace = Trace(max_events=self.trace_limit)
-        cycle_index = 0
-        for slot in self.schedule.cycles():
-            mode_target = {mode: (oy, ox) for oy, ox, mode in slot.outputs}
-            for pixel in slot.distinct_inputs:
-                trace.record(cycle_index, "input_fetch", pixel)
-                counters.add("buffer_reads")
-            for f in range(self.fold):
-                for n, slots in enumerate(folded.tap_slots):
-                    tap = slots[f]
-                    if tap is None:
-                        continue
-                    kh, kw = divmod(tap, spec.kernel_width)
-                    pixel = slot.assignments.get((kh, kw))
-                    if pixel is None:
-                        counters.add("sc_idle")
-                        continue
-                    target = mode_target.get(tap_mode[tap])
-                    if target is None:
-                        counters.add("sc_idle")
-                        continue
-                    vector = np.zeros(folded.rows_per_sc, dtype=np.float64)
-                    vector[f * c : (f + 1) * c] = x[pixel[0], pixel[1], :]
-                    out[target[0], target[1], :] += vector @ folded.data[:, :, n]
-                    counters.add("sc_fire")
-                    counters.add("live_rows", c)
-                    trace.record(cycle_index, "sc_fire", (n, f, tap, *pixel))
-                cycle_index += 1
-            for oy, ox, mode in slot.outputs:
-                trace.record(cycle_index - 1, "output_write", (oy, ox, mode))
-                counters.add("output_pixels")
-        return InstrumentedRun(
-            output=out, cycles=cycle_index, counters=counters, trace=trace
+        oh, ow, m = spec.output_shape
+        x_rows = np.ascontiguousarray(
+            x.astype(np.float64, copy=False).reshape(-1, c)
         )
+        out_flat = np.zeros((oh * ow, m), dtype=np.float64)
+        for group in compiled.tap_groups:
+            segment = folded.data[group.slot * c : (group.slot + 1) * c, :, group.phys]
+            # Output pixels are unique within a tap group, so a fancy-index
+            # accumulate is exact (no np.add.at needed).
+            out_flat[group.outputs] += x_rows[group.pixels] @ segment
+        counters = CounterSet()
+        # Only materialize counters that fired, matching the event-driven
+        # accounting (a key exists iff at least one event occurred).
+        for name, value in (
+            ("buffer_reads", compiled.buffer_reads),
+            ("sc_fire", compiled.num_fires),
+            ("live_rows", compiled.num_fires * c),
+            ("sc_idle", compiled.sc_idle),
+            ("output_pixels", compiled.output_pixels),
+        ):
+            if value:
+                counters.add(name, value)
+        trace = Trace(max_events=self.trace_limit)
+        if self.trace_limit > 0:
+            self._replay_trace(compiled, trace)
+        return InstrumentedRun(
+            output=out_flat.reshape(oh, ow, m),
+            cycles=compiled.cycles,
+            counters=counters,
+            trace=trace,
+        )
+
+    def _replay_trace(self, compiled: CompiledSchedule, trace: Trace) -> None:
+        """Re-emit the per-slot event interleaving of the scalar walk.
+
+        Streams :func:`_walk_events` directly into the bounded trace ring,
+        so memory stays capped at ``trace_limit`` regardless of layer size
+        (the old scalar engine's behavior).
+        """
+        fold = compiled.fold
+        for event in _walk_events(compiled.spec, fold):
+            kind = event[0]
+            base = event[1] * fold
+            if kind == "fetch":
+                trace.record(base, "input_fetch", event[2])
+            elif kind == "fire":
+                _, _slot, f, n, tap, pixel, _target = event
+                trace.record(base + f, "sc_fire", (n, f, tap, pixel[0], pixel[1]))
+            elif kind == "write":
+                trace.record(base + fold - 1, "output_write", event[2])

@@ -40,7 +40,12 @@ class Trace:
     _events: deque = field(default_factory=deque, repr=False)
 
     def record(self, cycle: int, kind: str, detail: Iterable) -> None:
-        """Append an event, evicting the oldest when full."""
+        """Append an event, evicting the oldest when full.
+
+        A non-positive ``max_events`` disables recording entirely.
+        """
+        if self.max_events <= 0:
+            return
         if len(self._events) >= self.max_events:
             self._events.popleft()
         self._events.append(TraceEvent(cycle=cycle, kind=kind, detail=tuple(detail)))

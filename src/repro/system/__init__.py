@@ -21,7 +21,7 @@ from repro.system.network_mapper import (
     extract_deconv_layers,
     evaluate_network,
 )
-from repro.system.pipeline import PipelineReport, pipeline_network
+from repro.system.pipeline import PipelineReport, pipeline_network, pipeline_network_sweep
 from repro.system.chip import ChipProvision, provision_chip
 
 __all__ = [
@@ -31,6 +31,7 @@ __all__ = [
     "evaluate_network",
     "PipelineReport",
     "pipeline_network",
+    "pipeline_network_sweep",
     "ChipProvision",
     "provision_chip",
 ]

@@ -8,15 +8,16 @@ single-layer Table I rows are sampled from.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.arch.breakdown import DesignMetrics
 from repro.arch.tech import TechnologyParams, default_tech
 from repro.deconv.shapes import DeconvSpec
 from repro.errors import ShapeError
-from repro.eval.harness import DESIGN_ORDER, build_design
+from repro.eval.harness import DESIGN_ORDER
+from repro.eval.parallel import DesignJob, SweepCache, run_design_jobs
 from repro.nn.modules import ConvTranspose2d, Module, Sequential
-from repro.workloads.specs import BenchmarkLayer
 
 
 @dataclass(frozen=True)
@@ -111,18 +112,24 @@ def evaluate_network(
     input_width: int = 1,
     tech: TechnologyParams | None = None,
     designs: tuple[str, ...] = DESIGN_ORDER,
+    jobs: int = 1,
+    cache: SweepCache | str | os.PathLike | None = None,
 ) -> NetworkEvaluation:
-    """Evaluate every design over every deconv layer of a network."""
+    """Evaluate every design over every deconv layer of a network.
+
+    Each (design, layer) pair becomes one
+    :class:`~repro.eval.parallel.DesignJob`; ``jobs`` and ``cache`` are
+    forwarded to :func:`~repro.eval.parallel.run_design_jobs`.
+    """
     tech = tech or default_tech()
     layers = extract_deconv_layers(network, input_height, input_width)
+    design_jobs = [
+        DesignJob(design_name, mapped.spec, tech, layer_name=mapped.name)
+        for design_name in designs
+        for mapped in layers
+    ]
+    evaluated = run_design_jobs(design_jobs, num_workers=jobs, cache=cache)
     metrics: dict[str, dict[str, DesignMetrics]] = {}
-    for design_name in designs:
-        row: dict[str, DesignMetrics] = {}
-        for mapped in layers:
-            shim = BenchmarkLayer(
-                name=mapped.name, network="", dataset="", spec=mapped.spec
-            )
-            design = build_design(design_name, shim, tech)
-            row[mapped.name] = design.evaluate(mapped.name)
-        metrics[design_name] = row
+    for job, result in zip(design_jobs, evaluated):
+        metrics.setdefault(job.design, {})[job.layer_name] = result
     return NetworkEvaluation(layers=layers, metrics=metrics, tech=tech)

@@ -9,10 +9,12 @@ the fill latency by the stage sum; this module applies that model to a
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from repro.errors import ParameterError
-from repro.system.network_mapper import NetworkEvaluation
+from repro.eval.parallel import SweepCache
+from repro.system.network_mapper import NetworkEvaluation, evaluate_network
 from repro.utils.validation import check_positive_int
 
 
@@ -84,3 +86,39 @@ def pipeline_network(
         batch=batch,
         energy_per_sample=energy,
     )
+
+
+def pipeline_network_sweep(
+    network,
+    designs: tuple[str, ...] | None = None,
+    batch: int = 16,
+    input_height: int = 1,
+    input_width: int = 1,
+    tech=None,
+    jobs: int = 1,
+    cache: SweepCache | str | os.PathLike | None = None,
+) -> dict[str, PipelineReport]:
+    """Pipeline reports for every design over one network, evaluated
+    through the parallel sweep runner.
+
+    The per-(design, layer) evaluations fan out over
+    :func:`~repro.eval.parallel.run_design_jobs` (``jobs`` workers,
+    optional on-disk ``cache``); the reports themselves are cheap
+    roll-ups.  Returns ``{design: PipelineReport}`` in design order.
+    """
+    from repro.eval.harness import DESIGN_ORDER
+
+    designs = designs or DESIGN_ORDER
+    evaluation = evaluate_network(
+        network,
+        input_height,
+        input_width,
+        tech=tech,
+        designs=designs,
+        jobs=jobs,
+        cache=cache,
+    )
+    return {
+        design: pipeline_network(evaluation, design, batch=batch)
+        for design in designs
+    }

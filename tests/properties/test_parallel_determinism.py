@@ -1,0 +1,109 @@
+"""Property-based determinism guarantees for the parallel sweep runner.
+
+The contract from ISSUE-1: :func:`repro.eval.parallel.run_design_jobs`
+returns *byte-identical* results (compared via pickle) for ``jobs=1`` vs
+``jobs=4``, and on a warm cache vs a cold cache vs no cache at all.
+"""
+
+import pickle
+import tempfile
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch.tech import default_tech
+from repro.deconv.shapes import DeconvSpec
+from repro.eval.parallel import DesignJob, SweepCache, run_design_jobs
+from repro.eval.sweeps import stride_speedup_sweep
+
+DESIGNS = ("zero-padding", "padding-free", "RED")
+
+_SETTINGS = dict(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def design_job_lists(draw):
+    """Small, diverse job lists over the FCN kernel convention."""
+    strides = draw(
+        st.lists(st.sampled_from((1, 2, 3, 4)), min_size=1, max_size=3, unique=True)
+    )
+    channels = draw(st.sampled_from((2, 3, 5)))
+    mux_share = draw(st.sampled_from((4, 8, 16)))
+    tech = default_tech().with_overrides(mux_share=mux_share)
+    jobs = []
+    for s in strides:
+        k = max(2 * s, 2)
+        spec = DeconvSpec(
+            input_height=3, input_width=3, in_channels=channels,
+            kernel_height=k, kernel_width=k, out_channels=2,
+            stride=s, padding=s // 2,
+        )
+        for design in DESIGNS:
+            jobs.append(DesignJob(design, spec, tech, layer_name=f"s{s}-{design}"))
+    return jobs
+
+
+def _digest(results) -> tuple[bytes, ...]:
+    """Canonical per-result serialization.
+
+    Per-element rather than whole-list: pickle memoizes *shared object
+    identity* (e.g. the interned design-name string appearing in several
+    in-process results), so two lists of byte-identical elements can
+    still differ at the list level depending on which process produced
+    them.
+    """
+    return tuple(
+        pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL) for result in results
+    )
+
+
+class TestWorkerCountInvariance:
+    @given(design_job_lists())
+    @settings(**_SETTINGS)
+    def test_jobs1_equals_jobs4(self, jobs):
+        sequential = run_design_jobs(jobs, num_workers=1)
+        parallel = run_design_jobs(jobs, num_workers=4, chunk_size=1)
+        assert _digest(sequential) == _digest(parallel)
+
+    @given(design_job_lists(), st.sampled_from((2, 3, 8)))
+    @settings(**_SETTINGS)
+    def test_chunk_size_is_irrelevant(self, jobs, chunk_size):
+        a = run_design_jobs(jobs, num_workers=2, chunk_size=chunk_size)
+        b = run_design_jobs(jobs, num_workers=1)
+        assert _digest(a) == _digest(b)
+
+
+class TestCacheInvariance:
+    @given(design_job_lists())
+    @settings(**_SETTINGS)
+    def test_warm_cache_equals_cold_cache_equals_uncached(self, jobs):
+        with tempfile.TemporaryDirectory() as directory:
+            cache = SweepCache(directory)
+            cold = run_design_jobs(jobs, cache=cache)
+            assert cache.stores == len(jobs)
+            warm = run_design_jobs(jobs, cache=cache)
+            assert cache.hits >= len(jobs)
+            uncached = run_design_jobs(jobs)
+            assert _digest(cold) == _digest(warm) == _digest(uncached)
+
+    @given(design_job_lists())
+    @settings(**_SETTINGS)
+    def test_parallel_workers_share_a_warm_cache(self, jobs):
+        with tempfile.TemporaryDirectory() as directory:
+            cold = run_design_jobs(jobs, num_workers=4, cache=directory)
+            warm = run_design_jobs(jobs, num_workers=4, cache=directory)
+            assert _digest(cold) == _digest(warm)
+
+
+class TestSweepLevelDeterminism:
+    def test_stride_sweep_identical_across_jobs_and_cache(self):
+        strides = (1, 2, 4)
+        baseline = stride_speedup_sweep(strides=strides)
+        with tempfile.TemporaryDirectory() as directory:
+            pooled = stride_speedup_sweep(strides=strides, jobs=4, cache=directory)
+            cached = stride_speedup_sweep(strides=strides, jobs=4, cache=directory)
+        assert _digest(baseline) == _digest(pooled) == _digest(cached)

@@ -1,0 +1,131 @@
+"""Equivalence tests: the batch engine vs per-job CycleEngine runs.
+
+The ISSUE-1 contract: ``BatchEngine`` outputs, cycle counts and counters
+must match per-job :class:`~repro.sim.engine.CycleEngine` runs *exactly*
+(bit-identical outputs, equal counter dicts) across strides 1-4 and
+folds ``{1, 'auto'}``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fold import choose_fold
+from repro.deconv.reference import conv_transpose2d
+from repro.deconv.shapes import DeconvSpec
+from repro.errors import ParameterError, ShapeError
+from repro.sim.batch import BatchEngine, BatchJob
+from repro.sim.engine import CycleEngine
+from tests.conftest import random_operands
+
+
+def spec_for_stride(stride: int) -> DeconvSpec:
+    """FCN-convention layer (K = 2s, p = s//2) at a small input size."""
+    k = max(2 * stride, 2)
+    return DeconvSpec(
+        input_height=4, input_width=4, in_channels=3,
+        kernel_height=k, kernel_width=k, out_channels=2,
+        stride=stride, padding=stride // 2,
+    )
+
+
+STRIDES = (1, 2, 3, 4)
+
+
+class TestBatchEquivalence:
+    @pytest.mark.parametrize("fold", (1, "auto"))
+    def test_matches_cycle_engine_exactly(self, fold):
+        jobs = [
+            BatchJob(spec_for_stride(s), fold=fold, seed=100 + s) for s in STRIDES
+        ]
+        engine = BatchEngine()
+        batch = engine.run(jobs)
+        assert batch.num_jobs == len(jobs)
+        for job, result in zip(jobs, batch.results):
+            x, w = engine.operands_for(job)
+            reference = CycleEngine(job.spec, fold=result.fold).run(x, w)
+            assert result.cycles == reference.cycles
+            assert result.counters == reference.counters.as_dict()
+            np.testing.assert_array_equal(result.output, reference.output)
+
+    @pytest.mark.parametrize("stride", STRIDES)
+    def test_auto_fold_resolution_matches_design_rule(self, stride):
+        job = BatchJob(spec_for_stride(stride), fold="auto")
+        result = BatchEngine(max_sub_crossbars=4).run([job]).results[0]
+        assert result.fold == choose_fold(job.spec, 4)
+
+    def test_explicit_operands_match_reference_math(self):
+        spec = spec_for_stride(2)
+        x, w = random_operands(spec, seed=7)
+        batch = BatchEngine().run([BatchJob(spec, fold=2)], operands=[(x, w)])
+        np.testing.assert_allclose(
+            batch.results[0].output, conv_transpose2d(x, w, spec), atol=1e-10
+        )
+
+    def test_jobs_sharing_a_spec_reuse_one_schedule(self):
+        """Same (spec, fold) twice: identical cycles/counters, distinct data."""
+        spec = spec_for_stride(2)
+        batch = BatchEngine().run(
+            [BatchJob(spec, fold=1, seed=0), BatchJob(spec, fold=1, seed=1)]
+        )
+        first, second = batch.results
+        assert first.cycles == second.cycles
+        assert first.counters == second.counters
+        assert not np.array_equal(first.output, second.output)
+
+    def test_deterministic_across_runs(self):
+        jobs = [BatchJob(spec_for_stride(s), fold="auto", seed=s) for s in STRIDES]
+        a = BatchEngine().run(jobs)
+        b = BatchEngine().run(jobs)
+        for ra, rb in zip(a.results, b.results):
+            np.testing.assert_array_equal(ra.output, rb.output)
+            assert ra.counters == rb.counters
+
+
+class TestBatchAggregates:
+    def test_total_cycles_is_job_sum(self):
+        jobs = [BatchJob(spec_for_stride(s)) for s in STRIDES]
+        batch = BatchEngine().run(jobs)
+        assert batch.total_cycles == sum(r.cycles for r in batch.results)
+
+    def test_merged_counters_sum_per_job_counters(self):
+        jobs = [BatchJob(spec_for_stride(s), seed=s) for s in (1, 2)]
+        batch = BatchEngine().run(jobs)
+        merged = batch.merged_counters()
+        for name in ("sc_fire", "buffer_reads", "output_pixels"):
+            assert merged.get(name) == sum(
+                r.counters.get(name, 0) for r in batch.results
+            )
+
+    def test_summary_fields(self):
+        batch = BatchEngine().run([BatchJob(spec_for_stride(2))])
+        summary = batch.summary()
+        assert summary["jobs"] == 1
+        assert summary["total_cycles"] == batch.total_cycles
+        assert summary["mean_cycles_per_job"] == batch.total_cycles
+        assert summary["sc_fires"] > 0
+
+
+class TestBatchValidation:
+    def test_empty_jobs_rejected(self):
+        with pytest.raises(ParameterError):
+            BatchEngine().run([])
+
+    def test_operand_count_mismatch_rejected(self):
+        spec = spec_for_stride(1)
+        x, w = random_operands(spec)
+        with pytest.raises(ShapeError):
+            BatchEngine().run(
+                [BatchJob(spec), BatchJob(spec)], operands=[(x, w)]
+            )
+
+    def test_bad_fold_rejected(self):
+        with pytest.raises(ParameterError):
+            BatchEngine().run([BatchJob(spec_for_stride(1), fold=0)])
+
+    def test_trace_disabled_on_hot_path_by_default(self):
+        spec = spec_for_stride(2)
+        batch = BatchEngine().run([BatchJob(spec)])
+        # Counters are exact even with the trace disabled.
+        run = CycleEngine(spec, fold=1).run(*BatchEngine().operands_for(BatchJob(spec)))
+        assert batch.results[0].counters == run.counters.as_dict()
+        assert run.trace.count("sc_fire") == run.counters.get("sc_fire")
