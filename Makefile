@@ -1,6 +1,7 @@
 # Tier-1 verification targets (mirrored by .github/workflows/ci.yml).
 #
 #   make test        - full test suite (collection regressions fail fast)
+#   make lint        - byte-compile + ruff check (API-surface regressions)
 #   make bench-smoke - quick-mode batch-engine benchmark (ISSUE-1 gate)
 #   make bench       - full benchmark suite with reproduced paper tables
 #   make verify      - what CI runs
@@ -8,10 +9,21 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: test bench-smoke bench verify
+.PHONY: test lint bench-smoke bench verify
 
 test:
 	python -m pytest -x -q
+
+# Byte-compiles every tree (catches syntax errors even without ruff
+# installed), then runs ruff's undefined-name/syntax gate when available
+# (CI always installs it; see ruff.toml for the selected rules).
+lint:
+	python -m compileall -q src tests benchmarks examples
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; skipped ruff check (ran compileall only)"; \
+	fi
 
 bench-smoke:
 	RED_BENCH_QUICK=1 python -m pytest benchmarks/bench_batch_engine.py -q
@@ -23,4 +35,4 @@ bench:
 	python -m pytest benchmarks/ -o python_files="bench_*.py" --benchmark-only -s
 	python -m pytest benchmarks/bench_batch_engine.py -q -s
 
-verify: test bench-smoke
+verify: lint test bench-smoke

@@ -17,6 +17,7 @@ Usage::
 
 import numpy as np
 
+from repro.api.registry import available_designs, baseline_design
 from repro.arch.programming import programming_cost
 from repro.system import evaluate_network, pipeline_network, provision_chip
 from repro.utils.formatting import (
@@ -26,16 +27,15 @@ from repro.utils.formatting import (
 )
 from repro.workloads.networks import DCGANGenerator
 
-DESIGNS = ("zero-padding", "padding-free", "RED")
-
 
 def main() -> None:
     gen = DCGANGenerator(rng=np.random.default_rng(0))
     evaluation = evaluate_network(gen, 1, 1)
     print(f"DCGAN generator: {len(evaluation.layers)} deconvolution layers\n")
 
+    baseline_chip = provision_chip(evaluation, baseline_design())
     rows = []
-    for design in DESIGNS:
+    for design in available_designs():
         report = pipeline_network(evaluation, design, batch=64)
         chip = provision_chip(evaluation, design)
         rows.append(
@@ -46,7 +46,7 @@ def main() -> None:
                 f"{evaluation.energy_saving(design) * 100:.1f}%",
                 f"{report.throughput:,.0f}/s",
                 f"{chip.total_area * 1e6:.3f} mm^2",
-                f"{chip.overhead_over(provision_chip(evaluation, 'zero-padding')) * 100:+.1f}%",
+                f"{chip.overhead_over(baseline_chip) * 100:+.1f}%",
             )
         )
     print(

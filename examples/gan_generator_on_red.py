@@ -13,7 +13,14 @@ Usage::
 
 import numpy as np
 
-from repro import REDDesign, ZeroPaddingDesign, PaddingFreeDesign, conv_transpose2d
+from repro import (
+    EvaluationRequest,
+    REDDesign,
+    RedService,
+    available_designs,
+    conv_transpose2d,
+)
+from repro.api.registry import baseline_design
 from repro.utils.formatting import format_joules, format_ratio, format_seconds, render_ascii_table
 from repro.workloads.data import latent_batch
 from repro.workloads.networks import SNGANGenerator
@@ -31,8 +38,10 @@ def main() -> None:
     x = gen.project(x)
     deconv_blocks = [("block1", gen.block1), ("block2", gen.block2), ("block3", gen.block3)]
 
+    service = RedService()
+    baseline = baseline_design()
     rows = []
-    total = {"zero-padding": 0.0, "padding-free": 0.0, "RED": 0.0}
+    total = {design: 0.0 for design in available_designs()}
     energy = dict(total)
     for name, block in deconv_blocks:
         deconv = block[0]
@@ -44,22 +53,19 @@ def main() -> None:
         ref = conv_transpose2d(x_hwc, deconv.weight, spec)
         assert np.allclose(red_run.output, ref), name
 
-        designs = {
-            "zero-padding": ZeroPaddingDesign(spec),
-            "padding-free": PaddingFreeDesign(spec),
-            "RED": REDDesign(spec),
-        }
-        metrics = {dname: d.evaluate(name) for dname, d in designs.items()}
-        base = metrics["zero-padding"]
+        # Performance model through the typed service API.
+        result = service.evaluate(EvaluationRequest(spec=spec, layer_name=name))
+        base = result.metrics_for(baseline)
+        red = result.metrics_for("RED")
         rows.append(
             (
                 name,
                 spec.describe(),
-                format_ratio(metrics["RED"].speedup_over(base)),
-                f"{metrics['RED'].energy_saving_over(base) * 100:.1f}%",
+                format_ratio(red.speedup_over(base)),
+                f"{red.energy_saving_over(base) * 100:.1f}%",
             )
         )
-        for dname, m in metrics.items():
+        for dname, m in zip(result.designs, result.metrics):
             total[dname] += m.latency.total
             energy[dname] += m.energy.total
         x = block(x)
@@ -73,7 +79,7 @@ def main() -> None:
     )
 
     print("\nWhole-generator deconvolution totals:")
-    for dname in ("zero-padding", "padding-free", "RED"):
+    for dname in available_designs():
         print(
             f"  {dname:>14}: latency {format_seconds(total[dname]):>10}, "
             f"energy {format_joules(energy[dname]):>10}"

@@ -2,20 +2,25 @@
 
 Runs a small transposed-convolution layer through all three accelerator
 designs, verifies every dataflow reproduces the mathematical reference
-bit-for-bit, and prints the latency/energy/area comparison the paper's
-evaluation is built on.
+bit-for-bit, prints the latency/energy/area comparison the paper's
+evaluation is built on, and finishes with the same evaluation through
+the typed service API (a ``schema_version``-tagged JSON payload).
 
 Usage::
 
     python examples/quickstart.py
 """
 
+import json
+
 import numpy as np
 
 from repro import (
     DeconvSpec,
+    EvaluationRequest,
     PaddingFreeDesign,
     REDDesign,
+    RedService,
     ZeroPaddingDesign,
     conv_transpose2d,
 )
@@ -80,6 +85,28 @@ def main() -> None:
         f"\nRED maps the kernel onto {red.num_physical_scs} sub-crossbars "
         f"and computes {spec.stride ** 2} output pixels per cycle "
         "(pixel-wise mapping + zero-skipping data flow)."
+    )
+
+    # 3. The same evaluation through the typed service API: a versioned,
+    #    machine-readable payload (what `repro ... --json` emits).
+    result = RedService().evaluate(
+        EvaluationRequest(spec=spec, layer_name="quickstart")
+    )
+    payload = result.to_dict()
+    print(
+        f"\nService API payload (schema_version {payload['schema_version']}):"
+    )
+    print(
+        json.dumps(
+            {
+                "kind": payload["kind"],
+                "schema_version": payload["schema_version"],
+                "layer": payload["layer"],
+                "designs": payload["designs"],
+                "cycles": [m["cycles"] for m in payload["metrics"]],
+            },
+            indent=2,
+        )
     )
 
 

@@ -41,8 +41,19 @@ from repro.core import (
 from repro.arch import TechnologyParams, default_tech, DesignMetrics
 from repro.workloads import TABLE_I_LAYERS, get_layer
 from repro.eval import run_grid, full_report
+from repro.api import (
+    EvaluationRequest,
+    EvaluationResult,
+    NetworkRequest,
+    NetworkResult,
+    RedService,
+    SweepRequest,
+    SweepResult,
+    available_designs,
+    register_design,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DeconvSpec",
@@ -66,5 +77,14 @@ __all__ = [
     "get_layer",
     "run_grid",
     "full_report",
+    "EvaluationRequest",
+    "EvaluationResult",
+    "NetworkRequest",
+    "NetworkResult",
+    "RedService",
+    "SweepRequest",
+    "SweepResult",
+    "available_designs",
+    "register_design",
     "__version__",
 ]

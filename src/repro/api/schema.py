@@ -1,0 +1,844 @@
+"""Versioned request/response schema for the service-layer API.
+
+Every payload that crosses the service boundary — CLI ``--json`` output,
+:class:`~repro.api.service.RedService` arguments and results, exported
+records — is one of the frozen dataclasses below.  Each type:
+
+* carries a ``schema_version`` field (:data:`SCHEMA_VERSION`) so readers
+  can reject payloads from a different API generation;
+* round-trips exactly: ``T.from_dict(t.to_dict()) == t``, including
+  through ``json.dumps``/``json.loads`` (property-tested in
+  ``tests/api/test_schema.py``);
+* validates strictly — wrong version, unknown keys, missing required
+  keys and malformed values all raise
+  :class:`~repro.errors.SchemaError`, never produce a half-built object.
+
+``to_dict`` emits JSON-native values only (dicts, lists, strings,
+numbers, booleans, ``None``); ``from_dict`` restores the frozen tuple
+forms.  The generic :func:`payload_from_dict` dispatches on the
+``"kind"`` discriminator every ``to_dict`` embeds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, fields
+
+from repro.arch.breakdown import (
+    AreaBreakdown,
+    DesignMetrics,
+    EnergyBreakdown,
+    LatencyBreakdown,
+)
+from repro.arch.tech import TechnologyParams, default_tech
+from repro.deconv.shapes import DeconvSpec
+from repro.errors import SchemaError
+from repro.eval.parallel import CycleStats
+
+#: The current request/response schema generation.  Bump on any change
+#: to the payload shapes below.
+SCHEMA_VERSION = 1
+
+_TECH_FIELDS = frozenset(f.name for f in fields(TechnologyParams))
+
+
+# ----------------------------------------------------------------------
+# Strict payload plumbing
+# ----------------------------------------------------------------------
+def _require_mapping(payload, kind: str) -> dict:
+    if not isinstance(payload, dict):
+        raise SchemaError(f"{kind} payload must be a mapping, got {type(payload).__name__}")
+    return payload
+
+
+def _check_keys(payload: dict, kind: str, required: frozenset, optional: frozenset) -> None:
+    keys = set(payload)
+    missing = required - keys
+    if missing:
+        raise SchemaError(f"{kind} payload is missing keys {sorted(missing)}")
+    unknown = keys - required - optional
+    if unknown:
+        raise SchemaError(f"{kind} payload has unknown keys {sorted(unknown)}")
+
+
+def _check_version(payload: dict, kind: str) -> None:
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SchemaError(
+            f"{kind} payload has schema_version {version!r}; "
+            f"this library speaks version {SCHEMA_VERSION}"
+        )
+
+
+def _check_kind(payload: dict, kind: str) -> None:
+    declared = payload.get("kind", kind)
+    if declared != kind:
+        raise SchemaError(f"expected a {kind!r} payload, got kind {declared!r}")
+
+
+def _normalize_overrides(overrides) -> tuple[tuple[str, object], ...]:
+    """Tech overrides as a sorted, hashable, validated tuple of pairs."""
+    if overrides is None:
+        return ()
+    if isinstance(overrides, dict):
+        items = overrides.items()
+    else:
+        try:
+            items = [(k, v) for k, v in overrides]
+        except (TypeError, ValueError):
+            raise SchemaError(
+                f"tech_overrides must be a mapping or (name, value) pairs, "
+                f"got {overrides!r}"
+            ) from None
+    normalized = []
+    for name, value in sorted(items):
+        if name not in _TECH_FIELDS:
+            raise SchemaError(
+                f"unknown TechnologyParams field {name!r} in tech_overrides"
+            )
+        if not isinstance(value, (int, float, bool)):
+            raise SchemaError(
+                f"tech_overrides[{name!r}] must be a number or bool, got {value!r}"
+            )
+        normalized.append((name, value))
+    return tuple(normalized)
+
+
+def _resolve_tech(
+    overrides: tuple[tuple[str, object], ...], base: TechnologyParams | None = None
+) -> TechnologyParams:
+    base = base or default_tech()
+    if not overrides:
+        return base
+    return dataclasses.replace(base, **dict(overrides))
+
+
+# ----------------------------------------------------------------------
+# Leaf serializers: spec, metrics, cycle stats
+# ----------------------------------------------------------------------
+def spec_to_dict(spec: DeconvSpec) -> dict:
+    """A :class:`DeconvSpec` as a flat JSON mapping."""
+    return {f.name: getattr(spec, f.name) for f in fields(spec)}
+
+
+def spec_from_dict(payload) -> DeconvSpec:
+    """Rebuild a :class:`DeconvSpec`; shape errors become SchemaError."""
+    payload = _require_mapping(payload, "spec")
+    names = frozenset(f.name for f in fields(DeconvSpec))
+    required = frozenset(
+        f.name for f in fields(DeconvSpec)
+        if f.default is dataclasses.MISSING
+    )
+    _check_keys(payload, "spec", required, names - required)
+    try:
+        return DeconvSpec(**payload)
+    except Exception as exc:
+        raise SchemaError(f"invalid spec payload: {exc}") from exc
+
+
+def _breakdown_to_dict(breakdown) -> dict:
+    return breakdown.as_dict()
+
+
+def _breakdown_from_dict(payload, cls):
+    payload = _require_mapping(payload, cls.__name__)
+    names = frozenset(f.name for f in fields(cls))
+    _check_keys(payload, cls.__name__, frozenset(), names)
+    try:
+        return cls(**{k: float(v) for k, v in payload.items()})
+    except (TypeError, ValueError) as exc:
+        raise SchemaError(f"invalid {cls.__name__} payload: {exc}") from exc
+
+
+def metrics_to_dict(metrics: DesignMetrics) -> dict:
+    """A :class:`DesignMetrics` as nested JSON mappings."""
+    return {
+        "design": metrics.design,
+        "layer": metrics.layer,
+        "cycles": metrics.cycles,
+        "latency": _breakdown_to_dict(metrics.latency),
+        "energy": _breakdown_to_dict(metrics.energy),
+        "area": _breakdown_to_dict(metrics.area),
+    }
+
+
+def metrics_from_dict(payload) -> DesignMetrics:
+    """Rebuild a :class:`DesignMetrics` from :func:`metrics_to_dict`."""
+    payload = _require_mapping(payload, "metrics")
+    _check_keys(
+        payload,
+        "metrics",
+        frozenset({"design", "layer", "cycles", "latency", "energy", "area"}),
+        frozenset(),
+    )
+    return DesignMetrics(
+        design=str(payload["design"]),
+        layer=str(payload["layer"]),
+        cycles=int(payload["cycles"]),
+        latency=_breakdown_from_dict(payload["latency"], LatencyBreakdown),
+        energy=_breakdown_from_dict(payload["energy"], EnergyBreakdown),
+        area=_breakdown_from_dict(payload["area"], AreaBreakdown),
+    )
+
+
+def cycle_stats_to_dict(stats: CycleStats) -> dict:
+    """A :class:`CycleStats` as a JSON mapping (counters become a dict)."""
+    return {
+        "design": stats.design,
+        "layer": stats.layer,
+        "fold": stats.fold,
+        "cycles": stats.cycles,
+        "counters": dict(stats.counters),
+    }
+
+
+def cycle_stats_from_dict(payload) -> CycleStats:
+    """Rebuild a :class:`CycleStats` from :func:`cycle_stats_to_dict`."""
+    payload = _require_mapping(payload, "cycle_stats")
+    _check_keys(
+        payload,
+        "cycle_stats",
+        frozenset({"design", "layer", "fold", "cycles", "counters"}),
+        frozenset(),
+    )
+    counters = _require_mapping(payload["counters"], "cycle_stats.counters")
+    return CycleStats(
+        design=str(payload["design"]),
+        layer=str(payload["layer"]),
+        fold=int(payload["fold"]),
+        cycles=int(payload["cycles"]),
+        counters=tuple(sorted((str(k), int(v)) for k, v in counters.items())),
+    )
+
+
+def _validate_fold(fold) -> None:
+    if fold is None or fold == "auto":
+        return
+    if isinstance(fold, bool) or not isinstance(fold, int) or fold < 1:
+        raise SchemaError(f"fold must be a positive int, 'auto' or None, got {fold!r}")
+
+
+def _tuple_of_str(value, label: str) -> tuple[str, ...]:
+    if isinstance(value, str):
+        raise SchemaError(f"{label} must be a sequence of names, got the string {value!r}")
+    try:
+        return tuple(str(v) for v in value)
+    except TypeError:
+        raise SchemaError(f"{label} must be a sequence of names, got {value!r}") from None
+
+
+# ----------------------------------------------------------------------
+# Evaluation: one layer, N designs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EvaluationRequest:
+    """Evaluate one layer across designs.
+
+    Exactly one of ``layer`` (a Table I benchmark-layer name) or
+    ``spec`` must be given.  ``designs`` may use registry aliases; empty
+    means "every registered design, in registration order".
+
+    Attributes:
+        layer: Table I layer name, or ``None`` when ``spec`` is given.
+        spec: explicit layer shape, or ``None`` when ``layer`` is given.
+        designs: design names/aliases; ``()`` -> all registered.
+        fold: Eq. 2 fold for fold-aware designs (``None`` -> design default).
+        tech_overrides: ``TechnologyParams`` field overrides, applied to
+            the service's base technology.
+        trace: also run the cycle-level engine and return
+            :class:`~repro.eval.parallel.CycleStats` per capable design.
+        layer_name: label carried into the metrics (defaults to
+            ``layer`` or the spec description).
+    """
+
+    layer: str | None = None
+    spec: DeconvSpec | None = None
+    designs: tuple[str, ...] = ()
+    fold: int | str | None = None
+    tech_overrides: tuple[tuple[str, object], ...] = ()
+    trace: bool = False
+    layer_name: str = ""
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if self.schema_version != SCHEMA_VERSION:
+            raise SchemaError(
+                f"EvaluationRequest schema_version {self.schema_version!r} != {SCHEMA_VERSION}"
+            )
+        if (self.layer is None) == (self.spec is None):
+            raise SchemaError(
+                "exactly one of 'layer' (a benchmark-layer name) or 'spec' "
+                "must be provided"
+            )
+        if self.spec is not None and not isinstance(self.spec, DeconvSpec):
+            raise SchemaError(f"spec must be a DeconvSpec, got {type(self.spec).__name__}")
+        _validate_fold(self.fold)
+        object.__setattr__(self, "designs", _tuple_of_str(self.designs, "designs"))
+        object.__setattr__(
+            self, "tech_overrides", _normalize_overrides(self.tech_overrides)
+        )
+
+    def resolved_tech(self, base: TechnologyParams | None = None) -> TechnologyParams:
+        """The concrete technology after applying the overrides."""
+        return _resolve_tech(self.tech_overrides, base)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "evaluation_request",
+            "schema_version": self.schema_version,
+            "layer": self.layer,
+            "spec": None if self.spec is None else spec_to_dict(self.spec),
+            "designs": list(self.designs),
+            "fold": self.fold,
+            "tech_overrides": dict(self.tech_overrides),
+            "trace": self.trace,
+            "layer_name": self.layer_name,
+        }
+
+    @classmethod
+    def from_dict(cls, payload) -> "EvaluationRequest":
+        payload = _require_mapping(payload, "evaluation_request")
+        _check_kind(payload, "evaluation_request")
+        _check_version(payload, "evaluation_request")
+        _check_keys(
+            payload,
+            "evaluation_request",
+            frozenset({"schema_version"}),
+            frozenset(
+                {"kind", "layer", "spec", "designs", "fold", "tech_overrides",
+                 "trace", "layer_name"}
+            ),
+        )
+        spec = payload.get("spec")
+        return cls(
+            layer=payload.get("layer"),
+            spec=None if spec is None else spec_from_dict(spec),
+            designs=tuple(payload.get("designs", ())),
+            fold=payload.get("fold"),
+            tech_overrides=payload.get("tech_overrides", ()),
+            trace=bool(payload.get("trace", False)),
+            layer_name=str(payload.get("layer_name", "")),
+        )
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Per-design metrics (and optional cycle stats) for one layer.
+
+    Attributes:
+        layer: the evaluated layer's label.
+        designs: canonical design names, in evaluation order.
+        metrics: one :class:`DesignMetrics` per design.
+        cycle_stats: cycle-level stats aligned with ``designs`` when the
+            request asked for a trace (``None`` per design without a
+            cycle engine); empty tuple otherwise.
+    """
+
+    layer: str
+    designs: tuple[str, ...]
+    metrics: tuple[DesignMetrics, ...]
+    cycle_stats: tuple[CycleStats | None, ...] = ()
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if self.schema_version != SCHEMA_VERSION:
+            raise SchemaError(
+                f"EvaluationResult schema_version {self.schema_version!r} != {SCHEMA_VERSION}"
+            )
+        object.__setattr__(self, "designs", tuple(self.designs))
+        object.__setattr__(self, "metrics", tuple(self.metrics))
+        object.__setattr__(self, "cycle_stats", tuple(self.cycle_stats))
+        if len(self.designs) != len(self.metrics):
+            raise SchemaError(
+                f"{len(self.designs)} designs but {len(self.metrics)} metrics"
+            )
+        if self.cycle_stats and len(self.cycle_stats) != len(self.designs):
+            raise SchemaError(
+                f"{len(self.designs)} designs but {len(self.cycle_stats)} cycle stats"
+            )
+
+    def metrics_for(self, design: str) -> DesignMetrics:
+        """Metrics for one design name."""
+        for name, metrics in zip(self.designs, self.metrics):
+            if name == design:
+                return metrics
+        raise KeyError(f"design {design!r} not in result ({self.designs})")
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "evaluation_result",
+            "schema_version": self.schema_version,
+            "layer": self.layer,
+            "designs": list(self.designs),
+            "metrics": [metrics_to_dict(m) for m in self.metrics],
+            "cycle_stats": [
+                None if s is None else cycle_stats_to_dict(s) for s in self.cycle_stats
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload) -> "EvaluationResult":
+        payload = _require_mapping(payload, "evaluation_result")
+        _check_kind(payload, "evaluation_result")
+        _check_version(payload, "evaluation_result")
+        _check_keys(
+            payload,
+            "evaluation_result",
+            frozenset({"schema_version", "layer", "designs", "metrics"}),
+            frozenset({"kind", "cycle_stats"}),
+        )
+        return cls(
+            layer=str(payload["layer"]),
+            designs=tuple(str(d) for d in payload["designs"]),
+            metrics=tuple(metrics_from_dict(m) for m in payload["metrics"]),
+            cycle_stats=tuple(
+                None if s is None else cycle_stats_from_dict(s)
+                for s in payload.get("cycle_stats", ())
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
+# Stride sweep
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepRequest:
+    """The Sec. III-C stride-speedup sweep, parameterized.
+
+    Attributes mirror :func:`repro.eval.sweeps.stride_speedup_sweep`.
+    """
+
+    strides: tuple[int, ...] = (1, 2, 4, 8)
+    input_size: int = 8
+    channels: int = 64
+    filters: int = 32
+    fold: int | str = 1
+    tech_overrides: tuple[tuple[str, object], ...] = ()
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if self.schema_version != SCHEMA_VERSION:
+            raise SchemaError(
+                f"SweepRequest schema_version {self.schema_version!r} != {SCHEMA_VERSION}"
+            )
+        try:
+            strides = tuple(int(s) for s in self.strides)
+        except (TypeError, ValueError):
+            raise SchemaError(f"strides must be integers, got {self.strides!r}") from None
+        if not strides or any(s < 1 for s in strides):
+            raise SchemaError(f"strides must be positive and non-empty, got {strides!r}")
+        object.__setattr__(self, "strides", strides)
+        _validate_fold(self.fold)
+        if self.fold is None:
+            raise SchemaError("sweep fold must be an int or 'auto', not None")
+        for name in ("input_size", "channels", "filters"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise SchemaError(f"{name} must be a positive int, got {value!r}")
+        object.__setattr__(
+            self, "tech_overrides", _normalize_overrides(self.tech_overrides)
+        )
+
+    def resolved_tech(self, base: TechnologyParams | None = None) -> TechnologyParams:
+        """The concrete technology after applying the overrides."""
+        return _resolve_tech(self.tech_overrides, base)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "sweep_request",
+            "schema_version": self.schema_version,
+            "strides": list(self.strides),
+            "input_size": self.input_size,
+            "channels": self.channels,
+            "filters": self.filters,
+            "fold": self.fold,
+            "tech_overrides": dict(self.tech_overrides),
+        }
+
+    @classmethod
+    def from_dict(cls, payload) -> "SweepRequest":
+        payload = _require_mapping(payload, "sweep_request")
+        _check_kind(payload, "sweep_request")
+        _check_version(payload, "sweep_request")
+        _check_keys(
+            payload,
+            "sweep_request",
+            frozenset({"schema_version"}),
+            frozenset(
+                {"kind", "strides", "input_size", "channels", "filters", "fold",
+                 "tech_overrides"}
+            ),
+        )
+        kwargs = {
+            name: payload[name]
+            for name in ("strides", "input_size", "channels", "filters", "fold")
+            if name in payload
+        }
+        if "strides" in kwargs:
+            kwargs["strides"] = tuple(kwargs["strides"])
+        return cls(tech_overrides=payload.get("tech_overrides", ()), **kwargs)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One measured stride of the sweep (mirrors ``StrideSweepPoint``)."""
+
+    stride: int
+    modes: int
+    cycles_red: int
+    cycles_zp: int
+    speedup: float
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload) -> "SweepPoint":
+        payload = _require_mapping(payload, "sweep_point")
+        names = frozenset(f.name for f in fields(cls))
+        _check_keys(payload, "sweep_point", names, frozenset())
+        return cls(
+            stride=int(payload["stride"]),
+            modes=int(payload["modes"]),
+            cycles_red=int(payload["cycles_red"]),
+            cycles_zp=int(payload["cycles_zp"]),
+            speedup=float(payload["speedup"]),
+        )
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """The measured stride-speedup curve.
+
+    Attributes:
+        points: one :class:`SweepPoint` per requested stride, ascending.
+        fitted_exponent: least-squares ``b`` of ``speedup ~ stride^b``,
+            or ``None`` when fewer than two strides exceed 1.
+    """
+
+    points: tuple[SweepPoint, ...]
+    fitted_exponent: float | None = None
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if self.schema_version != SCHEMA_VERSION:
+            raise SchemaError(
+                f"SweepResult schema_version {self.schema_version!r} != {SCHEMA_VERSION}"
+            )
+        object.__setattr__(self, "points", tuple(self.points))
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "sweep_result",
+            "schema_version": self.schema_version,
+            "points": [p.to_dict() for p in self.points],
+            "fitted_exponent": self.fitted_exponent,
+        }
+
+    @classmethod
+    def from_dict(cls, payload) -> "SweepResult":
+        payload = _require_mapping(payload, "sweep_result")
+        _check_kind(payload, "sweep_result")
+        _check_version(payload, "sweep_result")
+        _check_keys(
+            payload,
+            "sweep_result",
+            frozenset({"schema_version", "points"}),
+            frozenset({"kind", "fitted_exponent"}),
+        )
+        exponent = payload.get("fitted_exponent")
+        return cls(
+            points=tuple(SweepPoint.from_dict(p) for p in payload["points"]),
+            fitted_exponent=None if exponent is None else float(exponent),
+        )
+
+
+# ----------------------------------------------------------------------
+# Whole-network evaluation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NetworkRequest:
+    """Evaluate every deconv layer of a named workload network.
+
+    Attributes:
+        network: Table I network name (``DCGAN``, ``Improved GAN``,
+            ``SNGAN``, ``voc-fcn8s 2x``, ``voc-fcn8s 8x``).
+        designs: design names/aliases; ``()`` -> all registered.
+        batch: samples streamed through the inter-layer pipeline.
+        input_height / input_width: network input spatial size
+            (1 for latent-vector generators).
+        seed: RNG seed for the synthesized network weights.
+    """
+
+    network: str
+    designs: tuple[str, ...] = ()
+    batch: int = 16
+    input_height: int = 1
+    input_width: int = 1
+    seed: int = 0
+    tech_overrides: tuple[tuple[str, object], ...] = ()
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if self.schema_version != SCHEMA_VERSION:
+            raise SchemaError(
+                f"NetworkRequest schema_version {self.schema_version!r} != {SCHEMA_VERSION}"
+            )
+        if not isinstance(self.network, str) or not self.network:
+            raise SchemaError(f"network must be a non-empty string, got {self.network!r}")
+        for name in ("batch", "input_height", "input_width"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise SchemaError(f"{name} must be a positive int, got {value!r}")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool) or self.seed < 0:
+            raise SchemaError(f"seed must be a non-negative int, got {self.seed!r}")
+        object.__setattr__(self, "designs", _tuple_of_str(self.designs, "designs"))
+        object.__setattr__(
+            self, "tech_overrides", _normalize_overrides(self.tech_overrides)
+        )
+
+    def resolved_tech(self, base: TechnologyParams | None = None) -> TechnologyParams:
+        """The concrete technology after applying the overrides."""
+        return _resolve_tech(self.tech_overrides, base)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "network_request",
+            "schema_version": self.schema_version,
+            "network": self.network,
+            "designs": list(self.designs),
+            "batch": self.batch,
+            "input_height": self.input_height,
+            "input_width": self.input_width,
+            "seed": self.seed,
+            "tech_overrides": dict(self.tech_overrides),
+        }
+
+    @classmethod
+    def from_dict(cls, payload) -> "NetworkRequest":
+        payload = _require_mapping(payload, "network_request")
+        _check_kind(payload, "network_request")
+        _check_version(payload, "network_request")
+        _check_keys(
+            payload,
+            "network_request",
+            frozenset({"schema_version", "network"}),
+            frozenset(
+                {"kind", "designs", "batch", "input_height", "input_width", "seed",
+                 "tech_overrides"}
+            ),
+        )
+        kwargs = {
+            name: payload[name]
+            for name in ("batch", "input_height", "input_width", "seed")
+            if name in payload
+        }
+        return cls(
+            network=str(payload["network"]),
+            designs=tuple(payload.get("designs", ())),
+            tech_overrides=payload.get("tech_overrides", ()),
+            **kwargs,
+        )
+
+
+@dataclass(frozen=True)
+class NetworkDesignSummary:
+    """End-to-end roll-up of one design over a whole network.
+
+    Attributes:
+        design: canonical design name.
+        total_latency_s / total_energy_j: sequential (non-pipelined)
+            totals over all deconv layers.
+        speedup / energy_saving: vs. the baseline design.
+        fill_latency_s: first-sample latency through the pipeline.
+        bottleneck_latency_s: steady-state initiation interval.
+        throughput_per_s: pipelined samples per second.
+        chip_area_m2: area of a chip provisioned for this design.
+    """
+
+    design: str
+    total_latency_s: float
+    total_energy_j: float
+    speedup: float
+    energy_saving: float
+    fill_latency_s: float
+    bottleneck_latency_s: float
+    throughput_per_s: float
+    chip_area_m2: float
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload) -> "NetworkDesignSummary":
+        payload = _require_mapping(payload, "network_design_summary")
+        names = frozenset(f.name for f in fields(cls))
+        _check_keys(payload, "network_design_summary", names, frozenset())
+        values = {name: payload[name] for name in names}
+        values["design"] = str(values["design"])
+        for name in names - {"design"}:
+            values[name] = float(values[name])
+        return cls(**values)
+
+
+@dataclass(frozen=True)
+class NetworkResult:
+    """Whole-network evaluation: per-layer metrics plus design roll-ups.
+
+    Attributes:
+        network: the evaluated network's name.
+        batch: pipeline batch the summaries assume.
+        layers: deconv layer names in execution order.
+        designs: canonical design names evaluated.
+        layer_results: one :class:`EvaluationResult` per layer.
+        summaries: one :class:`NetworkDesignSummary` per design.
+    """
+
+    network: str
+    batch: int
+    layers: tuple[str, ...]
+    designs: tuple[str, ...]
+    layer_results: tuple[EvaluationResult, ...]
+    summaries: tuple[NetworkDesignSummary, ...]
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if self.schema_version != SCHEMA_VERSION:
+            raise SchemaError(
+                f"NetworkResult schema_version {self.schema_version!r} != {SCHEMA_VERSION}"
+            )
+        for name in ("layers", "designs", "layer_results", "summaries"):
+            object.__setattr__(self, name, tuple(getattr(self, name)))
+
+    def summary_for(self, design: str) -> NetworkDesignSummary:
+        """Roll-up for one design name."""
+        for summary in self.summaries:
+            if summary.design == design:
+                return summary
+        raise KeyError(f"design {design!r} not in result ({self.designs})")
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "network_result",
+            "schema_version": self.schema_version,
+            "network": self.network,
+            "batch": self.batch,
+            "layers": list(self.layers),
+            "designs": list(self.designs),
+            "layer_results": [r.to_dict() for r in self.layer_results],
+            "summaries": [s.to_dict() for s in self.summaries],
+        }
+
+    @classmethod
+    def from_dict(cls, payload) -> "NetworkResult":
+        payload = _require_mapping(payload, "network_result")
+        _check_kind(payload, "network_result")
+        _check_version(payload, "network_result")
+        _check_keys(
+            payload,
+            "network_result",
+            frozenset(
+                {"schema_version", "network", "batch", "layers", "designs",
+                 "layer_results", "summaries"}
+            ),
+            frozenset({"kind"}),
+        )
+        return cls(
+            network=str(payload["network"]),
+            batch=int(payload["batch"]),
+            layers=tuple(str(n) for n in payload["layers"]),
+            designs=tuple(str(n) for n in payload["designs"]),
+            layer_results=tuple(
+                EvaluationResult.from_dict(r) for r in payload["layer_results"]
+            ),
+            summaries=tuple(
+                NetworkDesignSummary.from_dict(s) for s in payload["summaries"]
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
+# Generic CLI envelope
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CommandPayload:
+    """Envelope for CLI subcommands without a dedicated result type.
+
+    ``data`` must be a JSON-native tree (the CLI builds it that way);
+    ``results`` carries structured :class:`EvaluationResult` entries for
+    grid-backed commands; ``text`` preserves the rendered table so the
+    payload is lossless versus the non-``--json`` output.
+    """
+
+    command: str
+    data: object = None
+    results: tuple[EvaluationResult, ...] = ()
+    text: str = ""
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if self.schema_version != SCHEMA_VERSION:
+            raise SchemaError(
+                f"CommandPayload schema_version {self.schema_version!r} != {SCHEMA_VERSION}"
+            )
+        if not isinstance(self.command, str) or not self.command:
+            raise SchemaError(f"command must be a non-empty string, got {self.command!r}")
+        object.__setattr__(self, "results", tuple(self.results))
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "command_result",
+            "schema_version": self.schema_version,
+            "command": self.command,
+            "data": self.data,
+            "results": [r.to_dict() for r in self.results],
+            "text": self.text,
+        }
+
+    @classmethod
+    def from_dict(cls, payload) -> "CommandPayload":
+        payload = _require_mapping(payload, "command_result")
+        _check_kind(payload, "command_result")
+        _check_version(payload, "command_result")
+        _check_keys(
+            payload,
+            "command_result",
+            frozenset({"schema_version", "command"}),
+            frozenset({"kind", "data", "results", "text"}),
+        )
+        return cls(
+            command=str(payload["command"]),
+            data=payload.get("data"),
+            results=tuple(
+                EvaluationResult.from_dict(r) for r in payload.get("results", ())
+            ),
+            text=str(payload.get("text", "")),
+        )
+
+
+#: ``kind`` discriminator -> payload class, for :func:`payload_from_dict`.
+PAYLOAD_KINDS: dict[str, type] = {
+    "evaluation_request": EvaluationRequest,
+    "evaluation_result": EvaluationResult,
+    "sweep_request": SweepRequest,
+    "sweep_result": SweepResult,
+    "network_request": NetworkRequest,
+    "network_result": NetworkResult,
+    "command_result": CommandPayload,
+}
+
+
+def payload_from_dict(payload):
+    """Rebuild any schema object from its ``to_dict`` form.
+
+    Dispatches on the embedded ``"kind"`` discriminator; unknown or
+    missing kinds raise :class:`~repro.errors.SchemaError`.
+    """
+    payload = _require_mapping(payload, "api")
+    kind = payload.get("kind")
+    cls = PAYLOAD_KINDS.get(kind)
+    if cls is None:
+        raise SchemaError(
+            f"unknown payload kind {kind!r}; expected one of {sorted(PAYLOAD_KINDS)}"
+        )
+    return cls.from_dict(payload)

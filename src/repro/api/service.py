@@ -1,0 +1,397 @@
+"""The ``RedService`` facade: one front door for every evaluation.
+
+Request -> service -> engine flow
+---------------------------------
+Callers build a frozen request from :mod:`repro.api.schema`, hand it to
+a :class:`RedService`, and get a frozen result back::
+
+    from repro.api import EvaluationRequest, RedService
+
+    with RedService(num_workers=4, cache="~/.cache/red") as service:
+        result = service.evaluate(EvaluationRequest(layer="GAN_Deconv1"))
+        print(result.metrics_for("RED").latency.total)
+
+Internally every path — :meth:`~RedService.evaluate`,
+:meth:`~RedService.sweep`, :meth:`~RedService.evaluate_network`, plus
+the library-level helpers :meth:`~RedService.grid`,
+:meth:`~RedService.sweep_points` and
+:meth:`~RedService.network_evaluation` that :func:`repro.eval.harness.run_grid`,
+:func:`repro.eval.sweeps.stride_speedup_sweep` and
+:func:`repro.system.network_mapper.evaluate_network` delegate to —
+flattens the work into :class:`~repro.eval.parallel.DesignJob` entries
+and routes them through :func:`~repro.eval.parallel.run_design_jobs`,
+the single evaluation substrate (process pool + on-disk
+:class:`~repro.eval.parallel.SweepCache`).  ``trace=True`` requests
+additionally run :func:`~repro.eval.parallel.run_cycle_jobs`, whose
+cycle-level :class:`~repro.eval.parallel.CycleStats` persist in the
+same cache under the ``"cycles"`` kind.
+
+Concurrency
+-----------
+:meth:`~RedService.submit` enqueues any request on a per-service thread
+pool and returns a :class:`concurrent.futures.Future`;
+:meth:`~RedService.gather` collects results in submission order.  The
+evaluation substrate is thread-safe: job execution is pure, and cache
+writes are atomic.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+
+from repro.api.registry import available_designs, baseline_design, resolve_design
+from repro.api.schema import (
+    EvaluationRequest,
+    EvaluationResult,
+    NetworkDesignSummary,
+    NetworkRequest,
+    NetworkResult,
+    SweepPoint,
+    SweepRequest,
+    SweepResult,
+)
+from repro.arch.tech import TechnologyParams, default_tech
+from repro.deconv.shapes import DeconvSpec
+from repro.errors import ParameterError, SchemaError
+from repro.eval.parallel import (
+    DesignJob,
+    SweepCache,
+    run_cycle_jobs,
+    run_design_jobs,
+)
+
+
+class RedService:
+    """Concurrent facade over the evaluation substrate.
+
+    Args:
+        num_workers: process-pool width for cache misses (1 = inline).
+        cache: a :class:`SweepCache`, a cache directory path, or ``None``.
+        tech: base technology the per-request overrides apply to
+            (default: :func:`default_tech`).
+        service_threads: thread-pool width for :meth:`submit`.
+        max_sub_crossbars: SC budget used to resolve ``fold='auto'`` on
+            cycle-level (trace) runs.
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 1,
+        cache: SweepCache | str | os.PathLike | None = None,
+        tech: TechnologyParams | None = None,
+        service_threads: int = 4,
+        max_sub_crossbars: int = 128,
+    ) -> None:
+        if num_workers < 1:
+            raise ParameterError(f"num_workers must be >= 1, got {num_workers}")
+        if service_threads < 1:
+            raise ParameterError(f"service_threads must be >= 1, got {service_threads}")
+        self.num_workers = num_workers
+        self.cache = cache
+        self.tech = tech
+        self.service_threads = service_threads
+        self.max_sub_crossbars = max_sub_crossbars
+        self._executor: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Request-level entry points
+    # ------------------------------------------------------------------
+    def evaluate(self, request: EvaluationRequest) -> EvaluationResult:
+        """Evaluate one layer across designs (optionally cycle-traced)."""
+        if not isinstance(request, EvaluationRequest):
+            raise SchemaError(
+                f"evaluate() takes an EvaluationRequest, got {type(request).__name__}"
+            )
+        spec, label = self._resolve_layer(request)
+        designs = self._resolve_designs(request.designs)
+        tech = request.resolved_tech(self.tech)
+        jobs = [
+            DesignJob(design, spec, tech, fold=request.fold, layer_name=label)
+            for design in designs
+        ]
+        metrics = run_design_jobs(jobs, num_workers=self.num_workers, cache=self.cache)
+        cycle_stats: tuple = ()
+        if request.trace:
+            cycle_stats = tuple(
+                run_cycle_jobs(
+                    jobs, cache=self.cache, max_sub_crossbars=self.max_sub_crossbars
+                )
+            )
+        return EvaluationResult(
+            layer=label,
+            designs=designs,
+            metrics=tuple(metrics),
+            cycle_stats=cycle_stats,
+        )
+
+    def sweep(self, request: SweepRequest) -> SweepResult:
+        """Run the stride-speedup sweep a request describes."""
+        if not isinstance(request, SweepRequest):
+            raise SchemaError(
+                f"sweep() takes a SweepRequest, got {type(request).__name__}"
+            )
+        points = self.sweep_points(
+            strides=request.strides,
+            input_size=request.input_size,
+            channels=request.channels,
+            filters=request.filters,
+            tech=request.resolved_tech(self.tech),
+            fold=request.fold,
+        )
+        exponent = None
+        if len([p for p in points if p.stride > 1]) >= 2:
+            from repro.eval.sweeps import quadratic_fit_exponent
+
+            exponent = quadratic_fit_exponent(points)
+        return SweepResult(points=tuple(points), fitted_exponent=exponent)
+
+    def evaluate_network(self, request: NetworkRequest) -> NetworkResult:
+        """Evaluate every deconv layer of a named workload network."""
+        if not isinstance(request, NetworkRequest):
+            raise SchemaError(
+                f"evaluate_network() takes a NetworkRequest, got {type(request).__name__}"
+            )
+        import numpy as np
+
+        from repro.system.chip import provision_chip
+        from repro.system.pipeline import pipeline_network
+        from repro.workloads.networks import build_network
+
+        designs = self._resolve_designs(request.designs)
+        tech = request.resolved_tech(self.tech)
+        try:
+            network = build_network(
+                request.network, rng=np.random.default_rng(request.seed)
+            )
+        except KeyError as exc:
+            raise SchemaError(exc.args[0] if exc.args else str(exc)) from exc
+        # The roll-ups normalize against the baseline design, so evaluate
+        # it even when the requested subset omits it (it is cheap and
+        # cache-shared); only the requested designs are reported.
+        baseline = baseline_design()
+        evaluated = designs if baseline in designs else (*designs, baseline)
+        evaluation = self.network_evaluation(
+            network,
+            request.input_height,
+            request.input_width,
+            tech=tech,
+            designs=evaluated,
+        )
+        layer_results = tuple(
+            EvaluationResult(
+                layer=mapped.name,
+                designs=designs,
+                metrics=tuple(
+                    evaluation.metrics[design][mapped.name] for design in designs
+                ),
+            )
+            for mapped in evaluation.layers
+        )
+        summaries = []
+        for design in designs:
+            report = pipeline_network(evaluation, design, batch=request.batch)
+            chip = provision_chip(evaluation, design)
+            summaries.append(
+                NetworkDesignSummary(
+                    design=design,
+                    total_latency_s=evaluation.total_latency(design),
+                    total_energy_j=evaluation.total_energy(design),
+                    speedup=evaluation.speedup(design),
+                    energy_saving=evaluation.energy_saving(design),
+                    fill_latency_s=report.fill_latency,
+                    bottleneck_latency_s=report.bottleneck_latency,
+                    throughput_per_s=report.throughput,
+                    chip_area_m2=chip.total_area,
+                )
+            )
+        return NetworkResult(
+            network=request.network,
+            batch=request.batch,
+            layers=tuple(mapped.name for mapped in evaluation.layers),
+            designs=designs,
+            layer_results=layer_results,
+            summaries=tuple(summaries),
+        )
+
+    # ------------------------------------------------------------------
+    # Concurrent entry points
+    # ------------------------------------------------------------------
+    def submit(self, request) -> Future:
+        """Dispatch any request on the service thread pool.
+
+        Returns a :class:`concurrent.futures.Future` resolving to the
+        matching result type.
+        """
+        handler = self._handler_for(request)
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.service_threads,
+                    thread_name_prefix="red-service",
+                )
+            executor = self._executor
+        return executor.submit(handler, request)
+
+    def gather(self, futures) -> list:
+        """Results of :meth:`submit` futures, in submission order."""
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        """Shut the service thread pool down (idempotent)."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "RedService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _handler_for(self, request):
+        if isinstance(request, EvaluationRequest):
+            return self.evaluate
+        if isinstance(request, SweepRequest):
+            return self.sweep
+        if isinstance(request, NetworkRequest):
+            return self.evaluate_network
+        raise SchemaError(
+            f"cannot dispatch request of type {type(request).__name__}; "
+            "expected EvaluationRequest, SweepRequest or NetworkRequest"
+        )
+
+    # ------------------------------------------------------------------
+    # Library-level canonical paths (the pre-API entry points delegate
+    # here so there is exactly one evaluation path)
+    # ------------------------------------------------------------------
+    def grid(self, layers=None, tech: TechnologyParams | None = None):
+        """Evaluate all registered designs over benchmark layers.
+
+        The canonical implementation behind
+        :func:`repro.eval.harness.run_grid`; returns an
+        :class:`~repro.eval.harness.EvaluationGrid`.
+        """
+        from repro.eval.harness import EvaluationGrid
+        from repro.workloads.specs import TABLE_I_LAYERS
+
+        layers = layers or TABLE_I_LAYERS
+        tech = tech or self.tech or default_tech()
+        designs = available_designs()
+        jobs = [
+            DesignJob(design, layer.spec, tech, layer_name=layer.name)
+            for layer in layers
+            for design in designs
+        ]
+        evaluated = run_design_jobs(jobs, num_workers=self.num_workers, cache=self.cache)
+        metrics: dict[str, dict[str, object]] = {}
+        for job, result in zip(jobs, evaluated):
+            metrics.setdefault(job.layer_name, {})[job.design] = result
+        return EvaluationGrid(metrics=metrics, layers=tuple(layers), tech=tech)
+
+    def sweep_points(
+        self,
+        strides: tuple[int, ...] = (1, 2, 4, 8),
+        input_size: int = 8,
+        channels: int = 64,
+        filters: int = 32,
+        tech: TechnologyParams | None = None,
+        fold: int | str = 1,
+    ) -> list[SweepPoint]:
+        """Measure RED's speedup as the stride grows (FCN rule ``K=2s``).
+
+        The canonical implementation behind
+        :func:`repro.eval.sweeps.stride_speedup_sweep`.
+        """
+        if not strides:
+            raise ParameterError("strides must be non-empty")
+        tech = tech or self.tech or default_tech()
+        baseline = baseline_design()
+        traced = "RED"  # the sweep measures the paper's design by definition
+        ordered = sorted(set(strides))
+        jobs: list[DesignJob] = []
+        for stride in ordered:
+            kernel = max(2 * stride, 2)
+            spec = DeconvSpec(
+                input_height=input_size, input_width=input_size,
+                in_channels=channels,
+                kernel_height=kernel, kernel_width=kernel, out_channels=filters,
+                stride=stride, padding=stride // 2,
+            )
+            jobs.append(
+                DesignJob(traced, spec, tech, fold=fold, layer_name=f"stride{stride}")
+            )
+            jobs.append(DesignJob(baseline, spec, tech, layer_name=f"stride{stride}"))
+        metrics = run_design_jobs(jobs, num_workers=self.num_workers, cache=self.cache)
+        points = []
+        for index, stride in enumerate(ordered):
+            red_metrics = metrics[2 * index]
+            zp_metrics = metrics[2 * index + 1]
+            points.append(
+                SweepPoint(
+                    stride=stride,
+                    modes=stride * stride,
+                    cycles_red=red_metrics.cycles,
+                    cycles_zp=zp_metrics.cycles,
+                    speedup=red_metrics.speedup_over(zp_metrics),
+                )
+            )
+        return points
+
+    def network_evaluation(
+        self,
+        network,
+        input_height: int = 1,
+        input_width: int = 1,
+        tech: TechnologyParams | None = None,
+        designs: tuple[str, ...] | None = None,
+    ):
+        """Evaluate every design over every deconv layer of a module tree.
+
+        The canonical implementation behind
+        :func:`repro.system.network_mapper.evaluate_network`; returns a
+        :class:`~repro.system.network_mapper.NetworkEvaluation`.
+        """
+        from repro.system.network_mapper import NetworkEvaluation, extract_deconv_layers
+
+        tech = tech or self.tech or default_tech()
+        designs = self._resolve_designs(tuple(designs) if designs else ())
+        layers = extract_deconv_layers(network, input_height, input_width)
+        jobs = [
+            DesignJob(design, mapped.spec, tech, layer_name=mapped.name)
+            for design in designs
+            for mapped in layers
+        ]
+        evaluated = run_design_jobs(jobs, num_workers=self.num_workers, cache=self.cache)
+        metrics: dict[str, dict[str, object]] = {}
+        for job, result in zip(jobs, evaluated):
+            metrics.setdefault(job.design, {})[job.layer_name] = result
+        return NetworkEvaluation(layers=layers, metrics=metrics, tech=tech)
+
+    # ------------------------------------------------------------------
+    # Shared resolution helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve_designs(designs: tuple[str, ...]) -> tuple[str, ...]:
+        """Canonical design names (all registered when none requested)."""
+        if not designs:
+            return available_designs()
+        return tuple(resolve_design(name) for name in designs)
+
+    @staticmethod
+    def _resolve_layer(request: EvaluationRequest) -> tuple[DeconvSpec, str]:
+        """The concrete (spec, label) an evaluation request names."""
+        if request.spec is not None:
+            label = request.layer_name or request.spec.describe()
+            return request.spec, label
+        from repro.workloads.specs import get_layer
+
+        try:
+            layer = get_layer(request.layer)
+        except KeyError as exc:
+            # KeyError str() wraps the message in repr quotes; unwrap it.
+            raise SchemaError(exc.args[0] if exc.args else str(exc)) from exc
+        return layer.spec, request.layer_name or layer.name

@@ -1,4 +1,10 @@
-"""Command-line interface: regenerate the paper's artefacts from a shell.
+"""Command-line interface: a thin adapter over :class:`RedService`.
+
+Each subcommand parses its arguments into a typed request from
+:mod:`repro.api.schema`, calls the service, and renders the result —
+as the familiar ASCII tables by default, or as a versioned JSON payload
+with ``--json`` (every payload carries ``schema_version`` and
+round-trips through :func:`repro.api.schema.payload_from_dict`).
 
 Usage::
 
@@ -13,25 +19,87 @@ Usage::
     python -m repro network SNGAN     # whole-generator evaluation
     python -m repro sweep --jobs 4 --cache ~/.cache/red-sweeps
                                       # stride sweep on the parallel runner
+    python -m repro report --json     # any subcommand, machine-readable
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro.eval.harness import run_grid
-from repro.eval.report import (
-    format_fig4,
-    format_fig7,
-    format_fig8,
-    format_fig9,
-    full_report,
+from repro.api.registry import available_designs
+from repro.api.schema import (
+    CommandPayload,
+    EvaluationResult,
+    NetworkRequest,
+    SweepRequest,
 )
-from repro.eval.tables import render_table1, render_table2
+from repro.api.service import RedService
 
 
-def _cmd_tradeoff() -> str:
+def _grid_results(grid) -> tuple[EvaluationResult, ...]:
+    """The grid as schema results, one per layer."""
+    designs = available_designs()
+    return tuple(
+        EvaluationResult(
+            layer=layer.name,
+            designs=designs,
+            metrics=tuple(grid.get(layer.name, design) for design in designs),
+        )
+        for layer in grid.layers
+    )
+
+
+def _cmd_table1() -> tuple[str, CommandPayload]:
+    from repro.eval.tables import render_table1
+    from repro.workloads.specs import TABLE_I_LAYERS
+
+    text = render_table1()
+    data = {"layers": [list(layer.table_row()) for layer in TABLE_I_LAYERS]}
+    return text, CommandPayload(command="table1", data=data, text=text)
+
+
+def _cmd_table2() -> tuple[str, CommandPayload]:
+    from repro.arch.breakdown import TABLE_II_COMPONENTS
+    from repro.eval.tables import render_table2
+
+    text = render_table2()
+    data = {"components": [list(row) for row in TABLE_II_COMPONENTS]}
+    return text, CommandPayload(command="table2", data=data, text=text)
+
+
+def _cmd_fig4() -> tuple[str, CommandPayload]:
+    from repro.eval.figures import fig4_redundancy_curves
+    from repro.eval.report import format_fig4
+
+    text = format_fig4()
+    data = {
+        "curves": {
+            name: [[stride, value] for stride, value in points]
+            for name, points in fig4_redundancy_curves().items()
+        }
+    }
+    return text, CommandPayload(command="fig4", data=data, text=text)
+
+
+def _cmd_grid_figure(command: str, service: RedService) -> tuple[str, CommandPayload]:
+    from repro.eval.report import format_fig7, format_fig8, format_fig9, full_report
+
+    formatter = {
+        "fig7": format_fig7,
+        "fig8": format_fig8,
+        "fig9": format_fig9,
+        "report": full_report,
+    }[command]
+    grid = service.grid()
+    text = formatter(grid)
+    return text, CommandPayload(
+        command=command, results=_grid_results(grid), text=text
+    )
+
+
+def _cmd_tradeoff() -> tuple[str, CommandPayload]:
     from repro.core.tradeoff import explore_fold_tradeoff
     from repro.utils.formatting import (
         format_area,
@@ -42,6 +110,7 @@ def _cmd_tradeoff() -> str:
     from repro.workloads.specs import get_layer
 
     spec = get_layer("FCN_Deconv2").spec
+    points = explore_fold_tradeoff(spec, folds=(1, 2, 4, 8, 16))
     rows = [
         (
             p.fold,
@@ -51,18 +120,61 @@ def _cmd_tradeoff() -> str:
             format_joules(p.energy),
             format_area(p.area),
         )
-        for p in explore_fold_tradeoff(spec, folds=(1, 2, 4, 8, 16))
+        for p in points
     ]
-    return render_ascii_table(
+    text = render_ascii_table(
         ("fold", "physical SCs", "cycles", "latency", "energy", "area"),
         rows,
         title="Sec. III-C fold trade-off on FCN_Deconv2",
     )
+    data = {
+        "layer": "FCN_Deconv2",
+        "points": [
+            {
+                "fold": p.fold,
+                "physical_scs": p.num_physical_scs,
+                "cycles": p.cycles,
+                "latency_s": p.latency,
+                "energy_j": p.energy,
+                "area_m2": p.area,
+            }
+            for p in points
+        ],
+    }
+    return text, CommandPayload(command="tradeoff", data=data, text=text)
 
 
-def _cmd_sweep(args) -> str:
+def _cmd_compare() -> tuple[str, CommandPayload]:
+    from repro.eval.comparison import render_comparison
+
+    text = render_comparison()
+    return text, CommandPayload(command="compare", text=text)
+
+
+def _cmd_mechanism() -> tuple[str, CommandPayload]:
+    from repro.core.visualize import (
+        render_cycle_table,
+        render_modes,
+        render_padded_map,
+    )
+    from repro.deconv.shapes import DeconvSpec
+
+    example = DeconvSpec(4, 4, 2, 3, 3, 2, stride=2, padding=1)
+    text = "\n".join(
+        (
+            "Fig. 6 computation modes (3x3 kernel, stride 2):\n",
+            render_modes(example),
+            "",
+            render_padded_map(DeconvSpec(4, 4, 1, 4, 4, 1, stride=2, padding=1)),
+            "",
+            render_cycle_table(example, num_cycles=2),
+        )
+    )
+    return text, CommandPayload(command="mechanism", text=text)
+
+
+def _cmd_sweep(args, service: RedService) -> tuple[str, object]:
     from repro.errors import ParameterError
-    from repro.eval.sweeps import quadratic_fit_exponent, stride_speedup_sweep
     from repro.utils.formatting import render_ascii_table
 
     try:
@@ -71,56 +183,42 @@ def _cmd_sweep(args) -> str:
         raise ParameterError(
             f"--strides must be comma-separated integers, got {args.strides!r}"
         ) from None
-    points = stride_speedup_sweep(
-        strides=strides, jobs=args.jobs, cache=args.cache
-    )
+    result = service.sweep(SweepRequest(strides=strides))
     rows = [
         (p.stride, p.modes, p.cycles_zp, p.cycles_red, f"{p.speedup:.2f}x")
-        for p in points
+        for p in result.points
     ]
-    table = render_ascii_table(
+    text = render_ascii_table(
         ("stride", "modes (s^2)", "ZP cycles", "RED cycles", "speedup"),
         rows,
         title=f"Sec. III-C stride sweep (jobs={args.jobs})",
     )
-    if len([p for p in points if p.stride > 1]) >= 2:
-        exponent = quadratic_fit_exponent(points)
-        table += f"\nfitted exponent: speedup ~ stride^{exponent:.2f}"
-    return table
+    if result.fitted_exponent is not None:
+        text += f"\nfitted exponent: speedup ~ stride^{result.fitted_exponent:.2f}"
+    return text, result
 
 
-def _cmd_network(name: str, jobs: int = 1, cache: str | None = None) -> str:
-    import numpy as np
+def _cmd_network(args, service: RedService) -> tuple[str, object]:
+    from repro.utils.formatting import format_seconds, render_ascii_table
 
-    from repro.system import evaluate_network, pipeline_network, provision_chip
-    from repro.utils.formatting import (
-        format_joules,
-        format_seconds,
-        render_ascii_table,
-    )
-    from repro.workloads.networks import build_network
-
-    network = build_network(name, rng=np.random.default_rng(0))
-    evaluation = evaluate_network(network, 1, 1, jobs=jobs, cache=cache)
-    rows = []
-    for design in ("zero-padding", "padding-free", "RED"):
-        report = pipeline_network(evaluation, design, batch=16)
-        chip = provision_chip(evaluation, design)
-        rows.append(
-            (
-                design,
-                format_seconds(evaluation.total_latency(design)),
-                f"{evaluation.speedup(design):.2f}x",
-                f"{evaluation.energy_saving(design) * 100:.1f}%",
-                format_seconds(report.bottleneck_latency),
-                f"{chip.total_area * 1e6:.4g} mm^2",
-            )
+    result = service.evaluate_network(NetworkRequest(network=args.name))
+    rows = [
+        (
+            summary.design,
+            format_seconds(summary.total_latency_s),
+            f"{summary.speedup:.2f}x",
+            f"{summary.energy_saving * 100:.1f}%",
+            format_seconds(summary.bottleneck_latency_s),
+            f"{summary.chip_area_m2 * 1e6:.4g} mm^2",
         )
-    return render_ascii_table(
+        for summary in result.summaries
+    ]
+    text = render_ascii_table(
         ("design", "latency", "speedup", "energy saving", "pipeline II", "chip area"),
         rows,
-        title=f"{name}: whole-network deconvolution evaluation",
+        title=f"{args.name}: whole-network deconvolution evaluation",
     )
+    return text, result
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -130,11 +228,12 @@ def main(argv: list[str] | None = None) -> int:
         description="RED (DATE 2019) reproduction: regenerate paper artefacts.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    subparsers = {}
     for name in (
         "report", "table1", "table2", "fig4", "fig7", "fig8", "fig9",
         "tradeoff", "compare", "mechanism",
     ):
-        sub.add_parser(name)
+        subparsers[name] = sub.add_parser(name)
     network = sub.add_parser("network")
     network.add_argument(
         "name",
@@ -148,52 +247,53 @@ def main(argv: list[str] | None = None) -> int:
     sweep.add_argument(
         "--strides", default="1,2,4,8", help="comma-separated strides"
     )
-    for cmd in (network, sweep):
+    subparsers["network"] = network
+    subparsers["sweep"] = sweep
+    # Every subcommand gets machine-readable output; the evaluation-grid
+    # commands additionally accept parallel/cache tuning.
+    for name, cmd in subparsers.items():
         cmd.add_argument(
-            "--jobs", type=int, default=1, help="process-pool workers (1 = inline)"
+            "--json",
+            action="store_true",
+            help="emit a schema_version-tagged JSON payload instead of a table",
         )
-        cmd.add_argument(
-            "--cache", default=None, help="on-disk sweep result cache directory"
-        )
+        if name in ("report", "fig7", "fig8", "fig9", "network", "sweep"):
+            cmd.add_argument(
+                "--jobs", type=int, default=1,
+                help="process-pool workers (1 = inline)",
+            )
+            cmd.add_argument(
+                "--cache", default=None,
+                help="on-disk sweep result cache directory",
+            )
     args = parser.parse_args(argv)
 
-    if args.command == "report":
-        print(full_report())
-    elif args.command == "table1":
-        print(render_table1())
+    service = RedService(
+        num_workers=getattr(args, "jobs", 1), cache=getattr(args, "cache", None)
+    )
+    if args.command == "table1":
+        text, payload = _cmd_table1()
     elif args.command == "table2":
-        print(render_table2())
+        text, payload = _cmd_table2()
     elif args.command == "fig4":
-        print(format_fig4())
-    elif args.command in ("fig7", "fig8", "fig9"):
-        grid = run_grid()
-        formatter = {"fig7": format_fig7, "fig8": format_fig8, "fig9": format_fig9}
-        print(formatter[args.command](grid))
+        text, payload = _cmd_fig4()
+    elif args.command in ("fig7", "fig8", "fig9", "report"):
+        text, payload = _cmd_grid_figure(args.command, service)
     elif args.command == "tradeoff":
-        print(_cmd_tradeoff())
+        text, payload = _cmd_tradeoff()
     elif args.command == "compare":
-        from repro.eval.comparison import render_comparison
-
-        print(render_comparison())
+        text, payload = _cmd_compare()
     elif args.command == "mechanism":
-        from repro.core.visualize import (
-            render_cycle_table,
-            render_modes,
-            render_padded_map,
-        )
-        from repro.deconv.shapes import DeconvSpec
-
-        example = DeconvSpec(4, 4, 2, 3, 3, 2, stride=2, padding=1)
-        print("Fig. 6 computation modes (3x3 kernel, stride 2):\n")
-        print(render_modes(example))
-        print()
-        print(render_padded_map(DeconvSpec(4, 4, 1, 4, 4, 1, stride=2, padding=1)))
-        print()
-        print(render_cycle_table(example, num_cycles=2))
+        text, payload = _cmd_mechanism()
     elif args.command == "sweep":
-        print(_cmd_sweep(args))
-    elif args.command == "network":
-        print(_cmd_network(args.name, jobs=args.jobs, cache=args.cache))
+        text, payload = _cmd_sweep(args, service)
+    else:  # network
+        text, payload = _cmd_network(args, service)
+
+    if args.json:
+        print(json.dumps(payload.to_dict(), indent=2))
+    else:
+        print(text)
     return 0
 
 

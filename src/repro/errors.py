@@ -34,3 +34,26 @@ class DeviceError(ReproError):
 
 class CalibrationError(ReproError):
     """The architecture model constants are inconsistent."""
+
+
+class RegistryError(ReproError):
+    """The design registry was used inconsistently."""
+
+
+class DuplicateDesignError(RegistryError, ValueError):
+    """A design name or alias is already registered."""
+
+
+class UnknownDesignError(RegistryError, KeyError):
+    """A design name does not resolve to any registered design.
+
+    Subclasses :class:`KeyError` so pre-registry callers that caught the
+    old hard-coded dispatch error keep working.
+    """
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the message
+        return self.args[0] if self.args else ""
+
+
+class SchemaError(ReproError, ValueError):
+    """An API request/response payload failed strict schema validation."""

@@ -13,10 +13,12 @@
 
 from repro.eval.harness import EvaluationGrid, run_grid, DESIGN_ORDER
 from repro.eval.parallel import (
+    CycleStats,
     DesignJob,
     SweepCache,
     evaluate_design_job,
     job_key,
+    run_cycle_jobs,
     run_design_jobs,
 )
 from repro.eval.figures import (
@@ -39,10 +41,12 @@ __all__ = [
     "EvaluationGrid",
     "run_grid",
     "DESIGN_ORDER",
+    "CycleStats",
     "DesignJob",
     "SweepCache",
     "evaluate_design_job",
     "job_key",
+    "run_cycle_jobs",
     "run_design_jobs",
     "fig4_redundancy_curves",
     "fig7_latency",

@@ -3,6 +3,12 @@
 Writes the design x layer grid as CSV or JSON so downstream tooling
 (plotters, spreadsheets, regression dashboards) can consume the
 reproduction without importing the library.
+
+The JSON export is versioned: :func:`grid_payload` wraps the records in
+a ``schema_version``-tagged envelope (:data:`repro.api.schema.SCHEMA_VERSION`)
+so readers can reject payloads from a different API generation.  The
+CSV columns are deliberately unversioned and unchanged — downstream
+diffs against pre-API exports stay byte-identical.
 """
 
 from __future__ import annotations
@@ -11,7 +17,9 @@ import csv
 import io
 import json
 
-from repro.eval.harness import DESIGN_ORDER, EvaluationGrid, run_grid
+from repro.api.registry import available_designs
+from repro.api.schema import SCHEMA_VERSION
+from repro.eval.harness import EvaluationGrid, run_grid
 
 #: Per-component columns exported for latency and energy.
 _COMPONENTS = (
@@ -26,7 +34,7 @@ def grid_records(grid: EvaluationGrid | None = None) -> list[dict[str, object]]:
     records: list[dict[str, object]] = []
     for layer in grid.layers:
         base = grid.baseline(layer.name)
-        for design in DESIGN_ORDER:
+        for design in available_designs():
             m = grid.get(layer.name, design)
             record: dict[str, object] = {
                 "layer": layer.name,
@@ -59,9 +67,22 @@ def to_csv(grid: EvaluationGrid | None = None) -> str:
     return buffer.getvalue()
 
 
+def grid_payload(grid: EvaluationGrid | None = None) -> dict[str, object]:
+    """The grid as a versioned, JSON-native envelope.
+
+    ``{"kind": "grid_records", "schema_version": ..., "records": [...]}``
+    — the shape :func:`to_json` emits.
+    """
+    return {
+        "kind": "grid_records",
+        "schema_version": SCHEMA_VERSION,
+        "records": grid_records(grid),
+    }
+
+
 def to_json(grid: EvaluationGrid | None = None, indent: int = 2) -> str:
-    """The grid as a JSON array."""
-    return json.dumps(grid_records(grid), indent=indent)
+    """The grid as a versioned JSON envelope (see :func:`grid_payload`)."""
+    return json.dumps(grid_payload(grid), indent=indent)
 
 
 def write_csv(path: str, grid: EvaluationGrid | None = None) -> None:

@@ -10,7 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.deconv.analysis import redundancy_vs_stride
-from repro.eval.harness import DESIGN_ORDER, EvaluationGrid, run_grid
+from repro.api.registry import available_designs
+from repro.eval.harness import EvaluationGrid, run_grid
 
 
 # ----------------------------------------------------------------------
@@ -61,7 +62,7 @@ def fig7_latency(grid: EvaluationGrid | None = None) -> LatencyFigure:
         base = grid.baseline(layer.name).latency
         speedup[layer.name] = {}
         breakdown[layer.name] = {}
-        for design in DESIGN_ORDER:
+        for design in available_designs():
             metrics = grid.get(layer.name, design)
             speedup[layer.name][design] = grid.speedup(layer.name, design)
             breakdown[layer.name][design] = {
@@ -106,7 +107,7 @@ def fig8_energy(grid: EvaluationGrid | None = None) -> EnergyFigure:
         ratio[layer.name] = {}
         breakdown[layer.name] = {}
         array_ratio[layer.name] = {}
-        for design in DESIGN_ORDER:
+        for design in available_designs():
             energy = grid.get(layer.name, design).energy
             saving[layer.name][design] = 1.0 - energy.total / base.total
             ratio[layer.name][design] = energy.total / base.total
@@ -147,7 +148,7 @@ def fig9_area(grid: EvaluationGrid | None = None) -> AreaFigure:
     for layer_name in FIG9_LAYERS:
         base = grid.baseline(layer_name).area
         normalized[layer_name] = {}
-        for design in DESIGN_ORDER:
+        for design in available_designs():
             area = grid.get(layer_name, design).area
             normalized[layer_name][design] = {
                 "array": area.array / base.total,

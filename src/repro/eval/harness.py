@@ -11,32 +11,30 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
+from repro.api.registry import available_designs, baseline_design
+from repro.api.registry import build_design as _registry_build_design
 from repro.arch.breakdown import DesignMetrics
 from repro.arch.tech import TechnologyParams, default_tech
 from repro.designs.base import DeconvDesign
-from repro.eval.parallel import (
-    DesignJob,
-    SweepCache,
-    build_design_for_job,
-    run_design_jobs,
-)
-from repro.workloads.specs import TABLE_I_LAYERS, BenchmarkLayer
+from repro.eval.parallel import SweepCache
+from repro.workloads.specs import BenchmarkLayer
 
-#: Presentation order used in every figure (baseline first).
-DESIGN_ORDER: tuple[str, ...] = ("zero-padding", "padding-free", "RED")
+#: Presentation order used in every figure (baseline first).  A snapshot
+#: of :func:`repro.api.registry.available_designs` at import time, kept
+#: for backwards compatibility — call ``available_designs()`` directly
+#: to observe designs registered after import.
+DESIGN_ORDER: tuple[str, ...] = available_designs()
 
 
 def build_design(
     name: str, layer: BenchmarkLayer, tech: TechnologyParams | None = None
 ) -> DeconvDesign:
-    """Instantiate one of the three designs for a benchmark layer.
+    """Instantiate a registered design for a benchmark layer.
 
-    Thin wrapper over :func:`repro.eval.parallel.build_design_for_job`, the
+    Thin wrapper over :func:`repro.api.registry.build_design`, the
     single name-to-design dispatch.
     """
-    return build_design_for_job(
-        DesignJob(name, layer.spec, tech or default_tech(), layer_name=layer.name)
-    )
+    return _registry_build_design(name, layer.spec, tech)
 
 
 @dataclass
@@ -57,8 +55,8 @@ class EvaluationGrid:
         return self.metrics[layer][design]
 
     def baseline(self, layer: str) -> DesignMetrics:
-        """The zero-padding metrics the paper normalizes against."""
-        return self.metrics[layer]["zero-padding"]
+        """The baseline-design metrics the paper normalizes against."""
+        return self.metrics[layer][baseline_design()]
 
     def speedup(self, layer: str, design: str) -> float:
         """Latency speedup of ``design`` over zero-padding."""
@@ -79,22 +77,14 @@ def run_grid(
     jobs: int = 1,
     cache: SweepCache | str | os.PathLike | None = None,
 ) -> EvaluationGrid:
-    """Evaluate all designs over ``layers`` (default: all of Table I).
+    """Evaluate all registered designs over ``layers`` (default: Table I).
 
-    The grid is flattened into :class:`~repro.eval.parallel.DesignJob`
-    entries and routed through
+    Delegates to :meth:`repro.api.service.RedService.grid`, the single
+    evaluation path: the grid is flattened into
+    :class:`~repro.eval.parallel.DesignJob` entries and routed through
     :func:`~repro.eval.parallel.run_design_jobs`, so ``jobs`` parallelizes
     the evaluation and ``cache`` persists it across runs.
     """
-    layers = layers or TABLE_I_LAYERS
-    tech = tech or default_tech()
-    design_jobs = [
-        DesignJob(design_name, layer.spec, tech, layer_name=layer.name)
-        for layer in layers
-        for design_name in DESIGN_ORDER
-    ]
-    evaluated = run_design_jobs(design_jobs, num_workers=jobs, cache=cache)
-    metrics: dict[str, dict[str, DesignMetrics]] = {}
-    for job, result in zip(design_jobs, evaluated):
-        metrics.setdefault(job.layer_name, {})[job.design] = result
-    return EvaluationGrid(metrics=metrics, layers=tuple(layers), tech=tech)
+    from repro.api.service import RedService
+
+    return RedService(num_workers=jobs, cache=cache).grid(layers=layers, tech=tech)

@@ -19,17 +19,26 @@ execution substrate for that list:
 3. :class:`SweepCache` — an on-disk result store keyed by
    :func:`job_key`, a SHA-256 over the canonical field-by-field
    representation of ``(design, fold, spec, tech)`` plus a schema
-   version.  Changing *any* field of the spec or of
+   version and a payload *kind*.  Changing *any* field of the spec or of
    :class:`~repro.arch.tech.TechnologyParams` changes the key, so stale
    results can never be served after a calibration tweak
    (``tests/eval/test_sweep_cache.py``).  Writes are atomic
    (temp file + ``os.replace``) so concurrent workers can share one
-   cache directory.
+   cache directory.  Two kinds live side by side: ``"metrics"``
+   (analytic :class:`DesignMetrics`) and ``"cycles"``
+   (:class:`CycleStats` measured by the cycle-level
+   :class:`~repro.sim.batch.BatchEngine`).
 4. :func:`run_design_jobs` — the sweep runner.  Cache hits are resolved
    first; the misses run either inline (``num_workers <= 1``) or on a
    process pool in deterministic chunks.  Results always come back in
    job order, byte-identical regardless of worker count or cache
    temperature (``tests/properties/test_parallel_determinism.py``).
+5. :func:`run_cycle_jobs` — the cycle-level companion: runs every
+   trace-capable job (RED) through the batch engine and persists the
+   resulting :class:`CycleStats` under the ``"cycles"`` cache kind.
+
+Design names are resolved through :mod:`repro.api.registry` — this
+module contains no hard-coded design dispatch.
 
 How benchmarks should use it
 ----------------------------
@@ -51,17 +60,20 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, fields, replace
 from pathlib import Path
 
+from repro.api.registry import get_design, resolve_design
+from repro.api.registry import build_design as _registry_build_design
 from repro.arch.breakdown import DesignMetrics
 from repro.arch.tech import TechnologyParams
-from repro.core.red_design import REDDesign
 from repro.deconv.shapes import DeconvSpec
 from repro.designs.base import DeconvDesign
-from repro.designs.padding_free_design import PaddingFreeDesign
-from repro.designs.zero_padding_design import ZeroPaddingDesign
 from repro.errors import ParameterError
 
 #: Bump when the cached payload or key layout changes shape.
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2
+
+#: Cache namespaces: analytic metrics vs cycle-level measurements.
+METRICS_KIND = "metrics"
+CYCLES_KIND = "cycles"
 
 
 @dataclass(frozen=True)
@@ -69,12 +81,13 @@ class DesignJob:
     """One (design, layer, technology) evaluation request.
 
     Attributes:
-        design: design name (``zero-padding`` / ``padding-free`` / ``RED``).
+        design: a design name or alias registered in
+            :mod:`repro.api.registry` (see ``available_designs()``).
         spec: the layer shape.
         tech: the concrete technology instance (no ``None`` default here —
             cache keys must be explicit).
-        fold: RED's Eq. 2 fold, ``'auto'``, or ``None`` for the design
-            default; ignored by the baseline designs.
+        fold: the Eq. 2 fold, ``'auto'``, or ``None`` for the design
+            default; ignored by designs without the fold parameter.
         layer_name: label carried into the resulting metrics (not part of
             the cache key — identical shapes share one cached result).
     """
@@ -89,27 +102,59 @@ class DesignJob:
 def _canonical_fold(job: DesignJob) -> int | str | None:
     """Fold as it actually affects the evaluation.
 
-    The baseline designs ignore the field entirely (canonical ``None``);
-    for RED, ``None`` is an alias of ``'auto'``.  Canonicalizing before
-    hashing lets semantically identical jobs share a cache entry.
+    Designs without the fold parameter (per their registry entry) ignore
+    the field entirely (canonical ``None``); for fold-aware designs,
+    ``None`` is an alias of ``'auto'``.  Canonicalizing before hashing
+    lets semantically identical jobs share a cache entry.
     """
-    if job.design != "RED":
+    if not get_design(job.design).accepts_fold:
         return None
     return "auto" if job.fold is None else job.fold
 
 
-def job_key(job: DesignJob) -> str:
-    """Stable content hash of ``(design, fold, spec, tech)``.
+@dataclass(frozen=True)
+class CycleStats:
+    """Cycle-level measurement of one job, as persisted in the cache.
+
+    The counters come from the :class:`~repro.sim.engine.CycleEngine`
+    run the :class:`~repro.sim.batch.BatchEngine` performs; the output
+    tensor itself is deliberately not stored (it is operand-dependent
+    and large — the cache holds the schedule-level observables).
+
+    Attributes:
+        design: canonical design name.
+        layer: label of the requesting job (relabelled on cache hits,
+            exactly like :class:`DesignMetrics`).
+        fold: the concrete resolved fold the schedule ran with.
+        cycles: compute rounds executed.
+        counters: sorted ``(name, value)`` activity-counter pairs.
+    """
+
+    design: str
+    layer: str
+    fold: int
+    cycles: int
+    counters: tuple[tuple[str, int], ...]
+
+    def counters_dict(self) -> dict[str, int]:
+        """The activity counters as a plain mapping."""
+        return dict(self.counters)
+
+
+def job_key(job: DesignJob, kind: str = METRICS_KIND) -> str:
+    """Stable content hash of ``(kind, design, fold, spec, tech)``.
 
     Field-by-field over the frozen dataclasses so any change to any
     parameter — including a single calibration constant — produces a new
     key.  Deliberately independent of ``layer_name`` (a label, not an
     input) and of process/interpreter state; ``fold`` is canonicalized
-    via :func:`_canonical_fold`.
+    via :func:`_canonical_fold` and the design name via
+    :func:`repro.api.registry.resolve_design`, so aliases share entries.
     """
     parts = [
         f"schema={CACHE_SCHEMA_VERSION}",
-        f"design={job.design}",
+        f"kind={kind}",
+        f"design={resolve_design(job.design)}",
         f"fold={_canonical_fold(job)!r}",
     ]
     for obj in (job.spec, job.tech):
@@ -119,18 +164,12 @@ def job_key(job: DesignJob) -> str:
 
 
 def build_design_for_job(job: DesignJob) -> DeconvDesign:
-    """Instantiate the accelerator design a job describes."""
-    if job.design == "zero-padding":
-        return ZeroPaddingDesign(job.spec, job.tech)
-    if job.design == "padding-free":
-        return PaddingFreeDesign(job.spec, job.tech)
-    if job.design == "RED":
-        fold = "auto" if job.fold is None else job.fold
-        return REDDesign(job.spec, job.tech, fold=fold)
-    raise KeyError(
-        f"unknown design {job.design!r}; choose from "
-        "('zero-padding', 'padding-free', 'RED')"
-    )
+    """Instantiate the accelerator design a job describes.
+
+    Thin wrapper over :func:`repro.api.registry.build_design`, the single
+    name-to-design dispatch.
+    """
+    return _registry_build_design(job.design, job.spec, job.tech, fold=job.fold)
 
 
 def evaluate_design_job(job: DesignJob) -> DesignMetrics:
@@ -138,11 +177,21 @@ def evaluate_design_job(job: DesignJob) -> DesignMetrics:
     return build_design_for_job(job).evaluate(job.layer_name)
 
 
-class SweepCache:
-    """On-disk :class:`DesignMetrics` store, one pickle per job key.
+#: Payload class expected under each cache kind.
+_KIND_PAYLOADS: dict[str, type] = {
+    METRICS_KIND: DesignMetrics,
+    CYCLES_KIND: CycleStats,
+}
 
-    Safe for concurrent writers (atomic replace); tracks hit/miss/store
-    statistics for tests and benchmark reporting.
+
+class SweepCache:
+    """On-disk result store, one pickle per ``(job key, kind)``.
+
+    Holds analytic :class:`DesignMetrics` (``kind="metrics"``, the
+    default) and cycle-level :class:`CycleStats` (``kind="cycles"``)
+    side by side in one directory.  Safe for concurrent writers (atomic
+    replace); tracks hit/miss/store statistics for tests and benchmark
+    reporting.
     """
 
     def __init__(self, directory: str | os.PathLike) -> None:
@@ -152,39 +201,46 @@ class SweepCache:
         self.misses = 0
         self.stores = 0
 
-    def path_for(self, job: DesignJob) -> Path:
-        """Cache file backing a job."""
-        return self.directory / f"{job_key(job)}.pkl"
+    def path_for(self, job: DesignJob, kind: str = METRICS_KIND) -> Path:
+        """Cache file backing a job under one payload kind."""
+        return self.directory / f"{job_key(job, kind)}.pkl"
 
-    def get(self, job: DesignJob) -> DesignMetrics | None:
-        """Cached metrics for a job, relabelled to the job's layer name."""
-        path = self.path_for(job)
+    def get(self, job: DesignJob, kind: str = METRICS_KIND):
+        """Cached payload for a job, relabelled to the job's layer name."""
+        expected = _KIND_PAYLOADS[kind]
+        path = self.path_for(job, kind)
         try:
             payload = path.read_bytes()
         except FileNotFoundError:
             self.misses += 1
             return None
         try:
-            metrics = pickle.loads(payload)
-            if not isinstance(metrics, DesignMetrics):
-                raise TypeError(f"unexpected cache payload {type(metrics)}")
-            relabelled = replace(metrics, layer=job.layer_name)
+            value = pickle.loads(payload)
+            if not isinstance(value, expected):
+                raise TypeError(f"unexpected cache payload {type(value)}")
+            relabelled = replace(value, layer=job.layer_name)
         except Exception:
             # A truncated, corrupt, or shape-skewed entry (e.g. pickled
-            # before a DesignMetrics field change) is a miss; it will be
+            # before a payload field change) is a miss; it will be
             # rewritten with the current schema.
             self.misses += 1
             return None
         self.hits += 1
         return relabelled
 
-    def put(self, job: DesignJob, metrics: DesignMetrics) -> None:
+    def put(self, job: DesignJob, value, kind: str = METRICS_KIND) -> None:
         """Store a result atomically under the job's key."""
-        path = self.path_for(job)
+        expected = _KIND_PAYLOADS[kind]
+        if not isinstance(value, expected):
+            raise TypeError(
+                f"cache kind {kind!r} stores {expected.__name__}, "
+                f"got {type(value).__name__}"
+            )
+        path = self.path_for(job, kind)
         fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                handle.write(pickle.dumps(metrics, protocol=pickle.HIGHEST_PROTOCOL))
+                handle.write(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -264,3 +320,67 @@ def run_design_jobs(
                     else replace(metrics, layer=jobs[index].layer_name)
                 )
     return results  # type: ignore[return-value]
+
+
+def run_cycle_jobs(
+    jobs: list[DesignJob] | tuple[DesignJob, ...],
+    cache: SweepCache | str | os.PathLike | None = None,
+    max_sub_crossbars: int = 128,
+) -> list[CycleStats | None]:
+    """Cycle-level companion to :func:`run_design_jobs`.
+
+    Runs every trace-capable job (``supports_trace`` in its registry
+    entry — RED) through the :class:`~repro.sim.batch.BatchEngine` and
+    returns :class:`CycleStats` per job, in job order; jobs whose design
+    has no cycle engine yield ``None``.  Results are persisted in the
+    same :class:`SweepCache` as the analytic metrics, under the
+    ``"cycles"`` kind, so repeated traced evaluations are near-free.
+    """
+    jobs = list(jobs)
+    cache = _coerce_cache(cache)
+    results: list[CycleStats | None] = [None] * len(jobs)
+    pending: list[int] = []
+    for index, job in enumerate(jobs):
+        if not get_design(job.design).supports_trace:
+            continue
+        if cache is not None:
+            hit = cache.get(job, kind=CYCLES_KIND)
+            if hit is not None:
+                results[index] = hit
+                continue
+        pending.append(index)
+    if pending:
+        from repro.sim.batch import BatchEngine, BatchJob
+
+        groups: dict[str, list[int]] = {}
+        for index in pending:
+            groups.setdefault(job_key(jobs[index], CYCLES_KIND), []).append(index)
+        unique_jobs = [jobs[indices[0]] for indices in groups.values()]
+        engine = BatchEngine(max_sub_crossbars=max_sub_crossbars)
+        batch = engine.run(
+            [
+                BatchJob(
+                    spec=job.spec,
+                    fold="auto" if job.fold is None else job.fold,
+                    label=job.layer_name,
+                )
+                for job in unique_jobs
+            ]
+        )
+        for indices, job, job_result in zip(groups.values(), unique_jobs, batch.results):
+            stats = CycleStats(
+                design=resolve_design(job.design),
+                layer=job.layer_name,
+                fold=job_result.fold,
+                cycles=job_result.cycles,
+                counters=tuple(sorted(job_result.counters.items())),
+            )
+            if cache is not None:
+                cache.put(job, stats, kind=CYCLES_KIND)
+            for index in indices:
+                results[index] = (
+                    stats
+                    if jobs[index].layer_name == stats.layer
+                    else replace(stats, layer=jobs[index].layer_name)
+                )
+    return results

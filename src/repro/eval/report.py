@@ -14,7 +14,8 @@ from repro.eval.figures import (
     fig8_energy,
     fig9_area,
 )
-from repro.eval.harness import DESIGN_ORDER, EvaluationGrid, run_grid
+from repro.api.registry import available_designs
+from repro.eval.harness import EvaluationGrid, run_grid
 from repro.eval.tables import render_table1, render_table2
 from repro.utils.formatting import render_ascii_table
 
@@ -37,15 +38,15 @@ def format_fig7(grid: EvaluationGrid | None = None) -> str:
     """Fig. 7 as speedup and array/periphery latency shares per design."""
     grid = grid or run_grid()
     fig = fig7_latency(grid)
-    headers = ["Layer"] + [f"{d} speedup" for d in DESIGN_ORDER] + [
-        f"{d} arr/pp %" for d in DESIGN_ORDER
+    headers = ["Layer"] + [f"{d} speedup" for d in available_designs()] + [
+        f"{d} arr/pp %" for d in available_designs()
     ]
     rows = []
     for layer in grid.layers:
         row: list[object] = [layer.name]
-        for design in DESIGN_ORDER:
+        for design in available_designs():
             row.append(f"{fig.speedup[layer.name][design]:.2f}x")
-        for design in DESIGN_ORDER:
+        for design in available_designs():
             b = fig.breakdown[layer.name][design]
             row.append(f"{b['array'] * 100:.1f}/{b['periphery'] * 100:.1f}")
         rows.append(row)
@@ -58,15 +59,15 @@ def format_fig8(grid: EvaluationGrid | None = None) -> str:
     """Fig. 8 as energy savings and array/periphery shares per design."""
     grid = grid or run_grid()
     fig = fig8_energy(grid)
-    headers = ["Layer"] + [f"{d} saving" for d in DESIGN_ORDER] + [
-        f"{d} arr/pp %" for d in DESIGN_ORDER
+    headers = ["Layer"] + [f"{d} saving" for d in available_designs()] + [
+        f"{d} arr/pp %" for d in available_designs()
     ]
     rows = []
     for layer in grid.layers:
         row: list[object] = [layer.name]
-        for design in DESIGN_ORDER:
+        for design in available_designs():
             row.append(f"{fig.saving[layer.name][design] * 100:.1f}%")
-        for design in DESIGN_ORDER:
+        for design in available_designs():
             b = fig.breakdown[layer.name][design]
             row.append(f"{b['array'] * 100:.1f}/{b['periphery'] * 100:.1f}")
         rows.append(row)
@@ -82,7 +83,7 @@ def format_fig9(grid: EvaluationGrid | None = None) -> str:
     headers = ["Layer", "Design", "Array %", "Periphery %", "Total %"]
     rows = []
     for layer_name in FIG9_LAYERS:
-        for design in DESIGN_ORDER:
+        for design in available_designs():
             n = fig.normalized[layer_name][design]
             rows.append(
                 (
@@ -117,7 +118,7 @@ def format_component_breakdown(
     rows = []
     for layer in grid.layers:
         base = getattr(grid.baseline(layer.name), metric)
-        for design in DESIGN_ORDER:
+        for design in available_designs():
             breakdown = getattr(grid.get(layer.name, design), metric)
             norm = breakdown.normalized_to(base)
             rows.append(

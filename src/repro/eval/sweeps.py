@@ -9,30 +9,15 @@ the ablation benchmarks.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
 
-from repro.arch.tech import TechnologyParams, default_tech
-from repro.deconv.shapes import DeconvSpec
+from repro.api.schema import SweepPoint
+from repro.arch.tech import TechnologyParams
 from repro.errors import ParameterError
-from repro.eval.parallel import DesignJob, SweepCache, run_design_jobs
+from repro.eval.parallel import SweepCache
 
-
-@dataclass(frozen=True)
-class StrideSweepPoint:
-    """Measured RED speedup at one stride.
-
-    Attributes:
-        stride: the deconvolution stride.
-        modes: number of computation modes (``stride^2``).
-        cycles_red / cycles_zp: round counts of the two designs.
-        speedup: total-latency ratio zero-padding / RED.
-    """
-
-    stride: int
-    modes: int
-    cycles_red: int
-    cycles_zp: int
-    speedup: float
+#: Backwards-compatible name: the sweep's point type now lives in the
+#: versioned API schema (:class:`repro.api.schema.SweepPoint`).
+StrideSweepPoint = SweepPoint
 
 
 def stride_speedup_sweep(
@@ -52,45 +37,20 @@ def stride_speedup_sweep(
     ``stride^2`` parallelism is visible (pass ``fold='auto'`` to see the
     folded, area-capped variant).
 
-    Routed through :func:`repro.eval.parallel.run_design_jobs`: ``jobs``
-    fans the per-stride evaluations over a process pool and ``cache``
-    makes repeated sweeps near-free.
+    Delegates to :meth:`repro.api.service.RedService.sweep_points`, the
+    single evaluation path: ``jobs`` fans the per-stride evaluations over
+    a process pool and ``cache`` makes repeated sweeps near-free.
     """
-    if not strides:
-        raise ParameterError("strides must be non-empty")
-    tech = tech or default_tech()
-    ordered = sorted(set(strides))
-    design_jobs: list[DesignJob] = []
-    for s in ordered:
-        k = max(2 * s, 2)
-        p = s // 2
-        spec = DeconvSpec(
-            input_height=input_size, input_width=input_size,
-            in_channels=channels,
-            kernel_height=k, kernel_width=k, out_channels=filters,
-            stride=s, padding=p,
-        )
-        design_jobs.append(
-            DesignJob("RED", spec, tech, fold=fold, layer_name=f"stride{s}")
-        )
-        design_jobs.append(
-            DesignJob("zero-padding", spec, tech, layer_name=f"stride{s}")
-        )
-    metrics = run_design_jobs(design_jobs, num_workers=jobs, cache=cache)
-    points = []
-    for index, s in enumerate(ordered):
-        red_metrics = metrics[2 * index]
-        zp_metrics = metrics[2 * index + 1]
-        points.append(
-            StrideSweepPoint(
-                stride=s,
-                modes=s * s,
-                cycles_red=red_metrics.cycles,
-                cycles_zp=zp_metrics.cycles,
-                speedup=red_metrics.speedup_over(zp_metrics),
-            )
-        )
-    return points
+    from repro.api.service import RedService
+
+    return RedService(num_workers=jobs, cache=cache).sweep_points(
+        strides=tuple(strides),
+        input_size=input_size,
+        channels=channels,
+        filters=filters,
+        tech=tech,
+        fold=fold,
+    )
 
 
 def quadratic_fit_exponent(points: list[StrideSweepPoint]) -> float:

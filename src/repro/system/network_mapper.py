@@ -11,12 +11,12 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
+from repro.api.registry import baseline_design
 from repro.arch.breakdown import DesignMetrics
 from repro.arch.tech import TechnologyParams, default_tech
 from repro.deconv.shapes import DeconvSpec
 from repro.errors import ShapeError
-from repro.eval.harness import DESIGN_ORDER
-from repro.eval.parallel import DesignJob, SweepCache, run_design_jobs
+from repro.eval.parallel import SweepCache
 from repro.nn.modules import ConvTranspose2d, Module, Sequential
 
 
@@ -97,12 +97,14 @@ class NetworkEvaluation:
         """Total energy over all layers, joules."""
         return sum(m.energy.total for m in self.metrics[design].values())
 
-    def speedup(self, design: str, baseline: str = "zero-padding") -> float:
+    def speedup(self, design: str, baseline: str | None = None) -> float:
         """End-to-end latency ratio baseline/design."""
+        baseline = baseline or baseline_design()
         return self.total_latency(baseline) / self.total_latency(design)
 
-    def energy_saving(self, design: str, baseline: str = "zero-padding") -> float:
+    def energy_saving(self, design: str, baseline: str | None = None) -> float:
         """End-to-end fractional energy saving vs baseline."""
+        baseline = baseline or baseline_design()
         return 1.0 - self.total_energy(design) / self.total_energy(baseline)
 
 
@@ -111,25 +113,21 @@ def evaluate_network(
     input_height: int = 1,
     input_width: int = 1,
     tech: TechnologyParams | None = None,
-    designs: tuple[str, ...] = DESIGN_ORDER,
+    designs: tuple[str, ...] | None = None,
     jobs: int = 1,
     cache: SweepCache | str | os.PathLike | None = None,
 ) -> NetworkEvaluation:
     """Evaluate every design over every deconv layer of a network.
 
-    Each (design, layer) pair becomes one
-    :class:`~repro.eval.parallel.DesignJob`; ``jobs`` and ``cache`` are
-    forwarded to :func:`~repro.eval.parallel.run_design_jobs`.
+    Delegates to
+    :meth:`repro.api.service.RedService.network_evaluation`, the single
+    evaluation path: each (design, layer) pair becomes one
+    :class:`~repro.eval.parallel.DesignJob` routed through
+    :func:`~repro.eval.parallel.run_design_jobs`.  ``designs=None``
+    evaluates every registered design.
     """
-    tech = tech or default_tech()
-    layers = extract_deconv_layers(network, input_height, input_width)
-    design_jobs = [
-        DesignJob(design_name, mapped.spec, tech, layer_name=mapped.name)
-        for design_name in designs
-        for mapped in layers
-    ]
-    evaluated = run_design_jobs(design_jobs, num_workers=jobs, cache=cache)
-    metrics: dict[str, dict[str, DesignMetrics]] = {}
-    for job, result in zip(design_jobs, evaluated):
-        metrics.setdefault(job.design, {})[job.layer_name] = result
-    return NetworkEvaluation(layers=layers, metrics=metrics, tech=tech)
+    from repro.api.service import RedService
+
+    return RedService(num_workers=jobs, cache=cache).network_evaluation(
+        network, input_height, input_width, tech=tech, designs=designs
+    )

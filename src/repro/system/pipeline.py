@@ -101,14 +101,15 @@ def pipeline_network_sweep(
     """Pipeline reports for every design over one network, evaluated
     through the parallel sweep runner.
 
-    The per-(design, layer) evaluations fan out over
-    :func:`~repro.eval.parallel.run_design_jobs` (``jobs`` workers,
-    optional on-disk ``cache``); the reports themselves are cheap
-    roll-ups.  Returns ``{design: PipelineReport}`` in design order.
+    The per-(design, layer) evaluations fan out through the service's
+    single evaluation path (:func:`~repro.eval.parallel.run_design_jobs`,
+    ``jobs`` workers, optional on-disk ``cache``); the reports themselves
+    are cheap roll-ups.  Returns ``{design: PipelineReport}`` in design
+    order (default: every registered design).
     """
-    from repro.eval.harness import DESIGN_ORDER
+    from repro.api.registry import available_designs
 
-    designs = designs or DESIGN_ORDER
+    designs = designs or available_designs()
     evaluation = evaluate_network(
         network,
         input_height,

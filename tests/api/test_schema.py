@@ -1,0 +1,345 @@
+"""Round-trip property tests for the versioned request/response schema.
+
+Every schema type must satisfy ``from_dict(to_dict(r)) == r`` — also
+after a real ``json.dumps``/``json.loads`` cycle, which is what the CLI
+``--json`` path and any cross-process consumer actually do.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.schema import (
+    SCHEMA_VERSION,
+    CommandPayload,
+    EvaluationRequest,
+    EvaluationResult,
+    NetworkDesignSummary,
+    NetworkRequest,
+    NetworkResult,
+    SweepPoint,
+    SweepRequest,
+    SweepResult,
+    payload_from_dict,
+)
+from repro.arch.breakdown import (
+    AreaBreakdown,
+    DesignMetrics,
+    EnergyBreakdown,
+    LatencyBreakdown,
+)
+from repro.deconv.shapes import DeconvSpec
+from repro.errors import SchemaError, ShapeError
+from repro.eval.parallel import CycleStats
+from repro.workloads.specs import layer_names
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+finite = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_0123456789", min_size=1, max_size=12
+)
+
+
+@st.composite
+def specs(draw):
+    stride = draw(st.integers(1, 4))
+    kernel = draw(st.integers(1, 6))
+    padding = draw(st.integers(0, max(kernel - 1, 0)))
+    try:
+        return DeconvSpec(
+            input_height=draw(st.integers(1, 6)),
+            input_width=draw(st.integers(1, 6)),
+            in_channels=draw(st.integers(1, 4)),
+            kernel_height=kernel,
+            kernel_width=kernel,
+            out_channels=draw(st.integers(1, 4)),
+            stride=stride,
+            padding=padding,
+            output_padding=draw(st.integers(0, stride - 1)),
+        )
+    except ShapeError:
+        # Some sampled combinations produce non-positive outputs.
+        return DeconvSpec(4, 4, 2, 3, 3, 2, stride=2, padding=1)
+
+
+def breakdowns(cls):
+    component_names = ("wordline", "bitline", "computation", "decoder", "mux")
+    return st.builds(
+        cls, **{name: finite for name in component_names}
+    )
+
+
+metrics_values = st.builds(
+    DesignMetrics,
+    design=names,
+    layer=names,
+    latency=breakdowns(LatencyBreakdown),
+    energy=breakdowns(EnergyBreakdown),
+    area=breakdowns(AreaBreakdown),
+    cycles=st.integers(0, 10**9),
+)
+
+cycle_stats_values = st.builds(
+    CycleStats,
+    design=names,
+    layer=names,
+    fold=st.integers(1, 64),
+    cycles=st.integers(0, 10**9),
+    counters=st.dictionaries(names, st.integers(0, 10**12), max_size=4).map(
+        lambda d: tuple(sorted(d.items()))
+    ),
+)
+
+folds = st.one_of(st.none(), st.just("auto"), st.integers(1, 32))
+overrides = st.dictionaries(
+    st.sampled_from(("t_adc", "e_mac", "clock_hz", "mux_share")),
+    st.one_of(st.integers(1, 8), finite.filter(lambda v: v > 0)),
+    max_size=3,
+)
+
+evaluation_requests = st.one_of(
+    st.builds(
+        EvaluationRequest,
+        layer=st.sampled_from(layer_names()),
+        designs=st.lists(st.sampled_from(("RED", "zp", "padding-free")), max_size=3).map(tuple),
+        fold=folds,
+        tech_overrides=overrides,
+        trace=st.booleans(),
+        layer_name=st.one_of(st.just(""), names),
+    ),
+    st.builds(
+        EvaluationRequest,
+        spec=specs(),
+        fold=folds,
+        trace=st.booleans(),
+    ),
+)
+
+
+@st.composite
+def evaluation_results(draw):
+    count = draw(st.integers(1, 3))
+    design_names = draw(
+        st.lists(names, min_size=count, max_size=count, unique=True)
+    )
+    traced = draw(st.booleans())
+    return EvaluationResult(
+        layer=draw(names),
+        designs=tuple(design_names),
+        metrics=tuple(draw(metrics_values) for _ in range(count)),
+        cycle_stats=(
+            tuple(
+                draw(st.one_of(st.none(), cycle_stats_values))
+                for _ in range(count)
+            )
+            if traced
+            else ()
+        ),
+    )
+
+
+sweep_requests = st.builds(
+    SweepRequest,
+    strides=st.lists(st.integers(1, 12), min_size=1, max_size=5).map(tuple),
+    input_size=st.integers(1, 16),
+    channels=st.integers(1, 64),
+    filters=st.integers(1, 64),
+    fold=st.one_of(st.just("auto"), st.integers(1, 16)),
+    tech_overrides=overrides,
+)
+
+sweep_results = st.builds(
+    SweepResult,
+    points=st.lists(
+        st.builds(
+            SweepPoint,
+            stride=st.integers(1, 32),
+            modes=st.integers(1, 1024),
+            cycles_red=st.integers(0, 10**9),
+            cycles_zp=st.integers(0, 10**9),
+            speedup=finite,
+        ),
+        max_size=5,
+    ).map(tuple),
+    fitted_exponent=st.one_of(st.none(), finite),
+)
+
+network_requests = st.builds(
+    NetworkRequest,
+    network=st.sampled_from(("DCGAN", "Improved GAN", "SNGAN", "voc-fcn8s 8x")),
+    designs=st.lists(st.sampled_from(("RED", "zero-padding")), max_size=2).map(tuple),
+    batch=st.integers(1, 256),
+    input_height=st.integers(1, 8),
+    input_width=st.integers(1, 8),
+    seed=st.integers(0, 2**31),
+    tech_overrides=overrides,
+)
+
+
+@st.composite
+def network_results(draw):
+    design_names = draw(st.lists(names, min_size=1, max_size=2, unique=True))
+    layer_labels = draw(st.lists(names, min_size=1, max_size=2, unique=True))
+    layer_results = tuple(
+        EvaluationResult(
+            layer=label,
+            designs=tuple(design_names),
+            metrics=tuple(draw(metrics_values) for _ in design_names),
+        )
+        for label in layer_labels
+    )
+    summaries = tuple(
+        NetworkDesignSummary(
+            design=design,
+            total_latency_s=draw(finite),
+            total_energy_j=draw(finite),
+            speedup=draw(finite),
+            energy_saving=draw(finite),
+            fill_latency_s=draw(finite),
+            bottleneck_latency_s=draw(finite),
+            throughput_per_s=draw(finite),
+            chip_area_m2=draw(finite),
+        )
+        for design in design_names
+    )
+    return NetworkResult(
+        network=draw(names),
+        batch=draw(st.integers(1, 64)),
+        layers=tuple(layer_labels),
+        designs=tuple(design_names),
+        layer_results=layer_results,
+        summaries=summaries,
+    )
+
+
+command_payloads = st.builds(
+    CommandPayload,
+    command=names,
+    data=st.one_of(
+        st.none(),
+        st.dictionaries(names, st.one_of(st.integers(), finite, names), max_size=3),
+        st.lists(st.integers(), max_size=4),
+    ),
+    results=st.lists(evaluation_results(), max_size=2).map(tuple),
+    text=st.text(max_size=40),
+)
+
+all_payloads = st.one_of(
+    evaluation_requests,
+    evaluation_results(),
+    sweep_requests,
+    sweep_results,
+    network_requests,
+    network_results(),
+    command_payloads,
+)
+
+
+# ----------------------------------------------------------------------
+# Round-trip properties
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(all_payloads)
+    def test_from_dict_inverts_to_dict(self, payload):
+        assert type(payload).from_dict(payload.to_dict()) == payload
+
+    @settings(max_examples=60, deadline=None)
+    @given(all_payloads)
+    def test_round_trip_survives_json(self, payload):
+        wire = json.loads(json.dumps(payload.to_dict()))
+        assert payload_from_dict(wire) == payload
+
+    @settings(max_examples=30, deadline=None)
+    @given(all_payloads)
+    def test_payload_is_json_native_and_version_tagged(self, payload):
+        wire = payload.to_dict()
+        assert wire["schema_version"] == SCHEMA_VERSION
+        assert wire["kind"] in (
+            "evaluation_request", "evaluation_result", "sweep_request",
+            "sweep_result", "network_request", "network_result", "command_result",
+        )
+        json.dumps(wire)  # must not raise
+
+
+class TestStrictValidation:
+    def test_wrong_version_rejected(self):
+        payload = EvaluationRequest(layer="GAN_Deconv1").to_dict()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(SchemaError, match="schema_version"):
+            EvaluationRequest.from_dict(payload)
+
+    def test_unknown_key_rejected(self):
+        payload = SweepRequest().to_dict()
+        payload["surprise"] = 1
+        with pytest.raises(SchemaError, match="surprise"):
+            SweepRequest.from_dict(payload)
+
+    def test_missing_required_key_rejected(self):
+        payload = NetworkRequest(network="SNGAN").to_dict()
+        del payload["network"]
+        with pytest.raises(SchemaError, match="network"):
+            NetworkRequest.from_dict(payload)
+
+    def test_wrong_kind_rejected(self):
+        payload = SweepRequest().to_dict()
+        with pytest.raises(SchemaError, match="kind"):
+            NetworkRequest.from_dict(payload)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SchemaError, match="unknown payload kind"):
+            payload_from_dict({"kind": "mystery", "schema_version": SCHEMA_VERSION})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(SchemaError):
+            payload_from_dict([1, 2, 3])
+
+    def test_layer_and_spec_both_set_rejected(self):
+        with pytest.raises(SchemaError, match="exactly one"):
+            EvaluationRequest(
+                layer="GAN_Deconv1", spec=DeconvSpec(4, 4, 2, 3, 3, 2, stride=2, padding=1)
+            )
+
+    def test_neither_layer_nor_spec_rejected(self):
+        with pytest.raises(SchemaError, match="exactly one"):
+            EvaluationRequest()
+
+    def test_bad_fold_rejected(self):
+        with pytest.raises(SchemaError, match="fold"):
+            EvaluationRequest(layer="GAN_Deconv1", fold=0)
+
+    def test_unknown_tech_override_rejected(self):
+        with pytest.raises(SchemaError, match="t_warp"):
+            EvaluationRequest(layer="GAN_Deconv1", tech_overrides={"t_warp": 1.0})
+
+    def test_empty_strides_rejected(self):
+        with pytest.raises(SchemaError, match="strides"):
+            SweepRequest(strides=())
+
+    def test_bad_batch_rejected(self):
+        with pytest.raises(SchemaError, match="batch"):
+            NetworkRequest(network="SNGAN", batch=0)
+
+    def test_overrides_are_normalized_and_hash_stable(self):
+        a = EvaluationRequest(
+            layer="GAN_Deconv1", tech_overrides={"t_adc": 1e-9, "e_mac": 2e-15}
+        )
+        b = EvaluationRequest(
+            layer="GAN_Deconv1", tech_overrides=(("e_mac", 2e-15), ("t_adc", 1e-9))
+        )
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_resolved_tech_applies_overrides(self):
+        request = EvaluationRequest(layer="GAN_Deconv1", tech_overrides={"t_adc": 1e-9})
+        assert request.resolved_tech().t_adc == 1e-9
+
+    def test_mismatched_metrics_length_rejected(self):
+        with pytest.raises(SchemaError, match="metrics"):
+            EvaluationResult(layer="L", designs=("a", "b"), metrics=())

@@ -1,0 +1,210 @@
+"""RedService facade: request handling, caching, tracing, concurrency."""
+
+import pickle
+
+import pytest
+
+from repro.api.schema import (
+    EvaluationRequest,
+    EvaluationResult,
+    NetworkRequest,
+    NetworkResult,
+    SweepRequest,
+    SweepResult,
+)
+from repro.api.service import RedService
+from repro.arch.tech import default_tech
+from repro.deconv.shapes import DeconvSpec
+from repro.errors import SchemaError, UnknownDesignError
+from repro.eval.parallel import CYCLES_KIND, DesignJob, SweepCache
+
+SPEC = DeconvSpec(4, 4, 3, 4, 4, 2, stride=2, padding=1)
+
+
+@pytest.fixture
+def service():
+    with RedService() as svc:
+        yield svc
+
+
+class TestEvaluate:
+    def test_layer_request_matches_direct_evaluation(self, service):
+        from repro.eval.parallel import evaluate_design_job
+        from repro.workloads.specs import get_layer
+
+        result = service.evaluate(EvaluationRequest(layer="GAN_Deconv3"))
+        assert result.designs == ("zero-padding", "padding-free", "RED")
+        direct = evaluate_design_job(
+            DesignJob("RED", get_layer("GAN_Deconv3").spec, default_tech(),
+                      layer_name="GAN_Deconv3")
+        )
+        assert result.metrics_for("RED") == direct
+
+    def test_spec_request(self, service):
+        result = service.evaluate(EvaluationRequest(spec=SPEC, layer_name="mine"))
+        assert result.layer == "mine"
+        assert all(m.layer == "mine" for m in result.metrics)
+
+    def test_aliases_resolve_to_canonical_names(self, service):
+        result = service.evaluate(
+            EvaluationRequest(spec=SPEC, designs=("red", "zp"))
+        )
+        assert result.designs == ("RED", "zero-padding")
+        assert result.metrics[0].design == "RED"
+
+    def test_tech_overrides_change_the_result(self, service):
+        plain = service.evaluate(EvaluationRequest(spec=SPEC))
+        tuned = service.evaluate(
+            EvaluationRequest(spec=SPEC, tech_overrides={"t_adc": 5e-9})
+        )
+        assert (
+            tuned.metrics_for("RED").latency.total
+            > plain.metrics_for("RED").latency.total
+        )
+
+    def test_unknown_layer_is_a_schema_error(self, service):
+        with pytest.raises(SchemaError):
+            service.evaluate(EvaluationRequest(layer="GAN_Deconv99"))
+
+    def test_unknown_design_error(self, service):
+        with pytest.raises(UnknownDesignError):
+            service.evaluate(EvaluationRequest(spec=SPEC, designs=("systolic",)))
+
+    def test_wrong_request_type_rejected(self, service):
+        with pytest.raises(SchemaError):
+            service.evaluate(SweepRequest())
+
+
+class TestTrace:
+    def test_trace_off_by_default(self, service):
+        assert service.evaluate(EvaluationRequest(spec=SPEC)).cycle_stats == ()
+
+    def test_trace_returns_cycle_stats_for_capable_designs(self, service):
+        result = service.evaluate(EvaluationRequest(spec=SPEC, trace=True))
+        stats = dict(zip(result.designs, result.cycle_stats))
+        assert stats["zero-padding"] is None
+        assert stats["padding-free"] is None
+        red = stats["RED"]
+        assert red.cycles == result.metrics_for("RED").cycles
+        assert red.fold >= 1
+        assert dict(red.counters)["output_pixels"] > 0
+
+    def test_trace_results_persist_in_the_sweep_cache(self, tmp_path):
+        request = EvaluationRequest(spec=SPEC, trace=True, layer_name="L")
+        cold = RedService(cache=tmp_path).evaluate(request)
+        cache = SweepCache(tmp_path)
+        warm_service = RedService(cache=cache)
+        warm = warm_service.evaluate(request)
+        assert warm == cold
+        # Every entry was served from disk: three metrics + one cycles.
+        assert cache.hits == 4
+        assert cache.misses == 0
+        job = DesignJob("RED", SPEC, default_tech(), layer_name="L")
+        path = cache.path_for(job, kind=CYCLES_KIND)
+        assert path.exists()
+        assert pickle.loads(path.read_bytes()).cycles == cold.metrics_for("RED").cycles
+
+    def test_cached_cycle_stats_relabelled(self, tmp_path):
+        RedService(cache=tmp_path).evaluate(
+            EvaluationRequest(spec=SPEC, trace=True, layer_name="first")
+        )
+        relabelled = RedService(cache=tmp_path).evaluate(
+            EvaluationRequest(spec=SPEC, trace=True, layer_name="second")
+        )
+        assert relabelled.cycle_stats[-1].layer == "second"
+
+
+class TestSweep:
+    def test_matches_library_sweep(self, service):
+        from repro.eval.sweeps import stride_speedup_sweep
+
+        result = service.sweep(SweepRequest(strides=(1, 2, 4)))
+        assert list(result.points) == stride_speedup_sweep(strides=(1, 2, 4))
+
+    def test_exponent_requires_two_superunit_strides(self, service):
+        assert service.sweep(SweepRequest(strides=(2,))).fitted_exponent is None
+        fitted = service.sweep(SweepRequest(strides=(2, 4))).fitted_exponent
+        assert fitted == pytest.approx(2.0, abs=0.5)
+
+
+class TestNetwork:
+    def test_summaries_match_network_evaluation(self):
+        import numpy as np
+
+        from repro.system.network_mapper import evaluate_network
+        from repro.workloads.networks import build_network
+
+        with RedService() as service:
+            result = service.evaluate_network(NetworkRequest(network="SNGAN"))
+        network = build_network("SNGAN", rng=np.random.default_rng(0))
+        evaluation = evaluate_network(network, 1, 1)
+        assert result.layers == tuple(m.name for m in evaluation.layers)
+        for summary in result.summaries:
+            assert summary.total_latency_s == pytest.approx(
+                evaluation.total_latency(summary.design)
+            )
+            assert summary.speedup == pytest.approx(evaluation.speedup(summary.design))
+
+    def test_layer_results_align_with_designs(self, service):
+        result = service.evaluate_network(NetworkRequest(network="DCGAN", batch=4))
+        assert result.batch == 4
+        for layer_result in result.layer_results:
+            assert layer_result.designs == result.designs
+            assert tuple(m.design for m in layer_result.metrics) == result.designs
+
+    def test_unknown_network_is_a_schema_error(self, service):
+        with pytest.raises(SchemaError, match="StyleGAN-XL"):
+            service.evaluate_network(NetworkRequest(network="StyleGAN-XL"))
+
+    def test_design_subset_without_baseline_still_rolls_up(self, service):
+        # The summaries normalize against the baseline even when the
+        # request only asks for RED; the baseline is evaluated
+        # internally but not reported.
+        result = service.evaluate_network(
+            NetworkRequest(network="SNGAN", designs=("RED",))
+        )
+        assert result.designs == ("RED",)
+        assert [s.design for s in result.summaries] == ["RED"]
+        full = service.evaluate_network(NetworkRequest(network="SNGAN"))
+        assert result.summary_for("RED").speedup == pytest.approx(
+            full.summary_for("RED").speedup
+        )
+        assert result.summary_for("RED").speedup > 1.0
+
+
+class TestConcurrency:
+    def test_submit_gather_preserves_order_and_types(self):
+        with RedService(service_threads=3) as service:
+            futures = [
+                service.submit(EvaluationRequest(spec=SPEC)),
+                service.submit(SweepRequest(strides=(1, 2))),
+                service.submit(NetworkRequest(network="SNGAN")),
+                service.submit(EvaluationRequest(layer="FCN_Deconv1")),
+            ]
+            results = service.gather(futures)
+        assert [type(r) for r in results] == [
+            EvaluationResult, SweepResult, NetworkResult, EvaluationResult,
+        ]
+        assert results[0] == RedService().evaluate(EvaluationRequest(spec=SPEC))
+
+    def test_submit_rejects_non_requests(self, service):
+        with pytest.raises(SchemaError):
+            service.submit({"layer": "GAN_Deconv1"})
+
+    def test_close_is_idempotent_and_reusable(self):
+        service = RedService()
+        service.close()
+        future = service.submit(EvaluationRequest(spec=SPEC))
+        assert isinstance(future.result(), EvaluationResult)
+        service.close()
+        service.close()
+
+    def test_concurrent_requests_share_one_cache(self, tmp_path):
+        with RedService(cache=tmp_path, service_threads=4) as service:
+            futures = [
+                service.submit(EvaluationRequest(spec=SPEC, layer_name=f"j{i}"))
+                for i in range(6)
+            ]
+            results = service.gather(futures)
+        reference = [r.metrics_for("RED").latency.total for r in results]
+        assert len(set(reference)) == 1

@@ -6,7 +6,15 @@ import json
 
 import pytest
 
-from repro.eval.export import grid_records, to_csv, to_json, write_csv, write_json
+from repro.api.schema import SCHEMA_VERSION
+from repro.eval.export import (
+    grid_payload,
+    grid_records,
+    to_csv,
+    to_json,
+    write_csv,
+    write_json,
+)
 from repro.eval.harness import run_grid
 
 
@@ -50,8 +58,21 @@ class TestFormats:
 
     def test_json_round_trip(self, grid):
         data = json.loads(to_json(grid))
-        assert len(data) == 18
-        assert {d["design"] for d in data} == {"zero-padding", "padding-free", "RED"}
+        assert data["kind"] == "grid_records"
+        assert data["schema_version"] == SCHEMA_VERSION
+        records = data["records"]
+        assert len(records) == 18
+        assert {d["design"] for d in records} == {"zero-padding", "padding-free", "RED"}
+
+    def test_json_matches_payload(self, grid):
+        assert json.loads(to_json(grid)) == json.loads(json.dumps(grid_payload(grid)))
+
+    def test_csv_has_no_schema_column(self, grid):
+        # The CSV columns are the pre-API contract: byte-identical for
+        # downstream diffs, so the version tag lives only in the JSON.
+        header = to_csv(grid).splitlines()[0]
+        assert "schema_version" not in header
+        assert header.startswith("layer,design,cycles,")
 
     def test_write_files(self, grid, tmp_path):
         csv_path = tmp_path / "grid.csv"
@@ -59,4 +80,4 @@ class TestFormats:
         write_csv(str(csv_path), grid)
         write_json(str(json_path), grid)
         assert csv_path.read_text().startswith("layer,")
-        assert json.loads(json_path.read_text())
+        assert json.loads(json_path.read_text())["schema_version"] == SCHEMA_VERSION

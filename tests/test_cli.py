@@ -1,7 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro.api.schema import SCHEMA_VERSION, payload_from_dict
 from repro.cli import main
 
 
@@ -61,3 +64,48 @@ class TestCli:
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestJsonOutput:
+    """Every subcommand emits a versioned payload that round-trips."""
+
+    @pytest.mark.parametrize(
+        "command",
+        ("table1", "table2", "fig4", "fig7", "fig8", "fig9",
+         "tradeoff", "compare", "mechanism", "sweep", "network"),
+    )
+    def test_json_round_trips(self, capsys, command):
+        assert main([command, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == SCHEMA_VERSION
+        rebuilt = payload_from_dict(payload)
+        assert json.loads(json.dumps(rebuilt.to_dict())) == payload
+
+    def test_sweep_json_is_a_sweep_result(self, capsys):
+        assert main(["sweep", "--json", "--strides", "1,2,4"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "sweep_result"
+        assert [p["stride"] for p in payload["points"]] == [1, 2, 4]
+
+    def test_network_json_is_a_network_result(self, capsys):
+        assert main(["network", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "network_result"
+        assert payload["network"] == "SNGAN"
+        assert {s["design"] for s in payload["summaries"]} == {
+            "zero-padding", "padding-free", "RED",
+        }
+
+    def test_grid_json_carries_structured_results(self, capsys):
+        assert main(["fig7", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "command_result"
+        layers = [r["layer"] for r in payload["results"]]
+        assert "GAN_Deconv1" in layers and "FCN_Deconv2" in layers
+        # The rendered text rides along, so --json output is lossless.
+        assert "speedup" in payload["text"]
+
+    def test_text_output_has_no_json(self, capsys):
+        assert main(["fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "schema_version" not in out
