@@ -26,13 +26,13 @@ lint:
 	fi
 
 bench-smoke:
-	RED_BENCH_QUICK=1 python -m pytest benchmarks/bench_batch_engine.py -q
+	RED_BENCH_QUICK=1 python -m pytest benchmarks/bench_batch_engine.py benchmarks/bench_cycle_compile.py -q
 
-# bench_batch_engine.py times wall-clock manually (no pytest-benchmark
-# fixture), so --benchmark-only would skip it; run it separately to keep
-# the full-mode >=5x speedup gate in the target.
+# bench_batch_engine.py / bench_cycle_compile.py time wall-clock manually
+# (no pytest-benchmark fixture), so --benchmark-only would skip them; run
+# them separately to keep the full-mode speedup gates in the target.
 bench:
 	python -m pytest benchmarks/ -o python_files="bench_*.py" --benchmark-only -s
-	python -m pytest benchmarks/bench_batch_engine.py -q -s
+	python -m pytest benchmarks/bench_batch_engine.py benchmarks/bench_cycle_compile.py -q -s
 
 verify: lint test bench-smoke

@@ -1,0 +1,228 @@
+"""ISSUE-3 acceptance benchmark: analytic compile + fused batch execution.
+
+Two gates, both against the paths this PR replaced:
+
+1. **Schedule compilation** — the analytic compiler
+   (:func:`~repro.sim.compiler.build_compiled_schedule`, closed-form
+   meshgrid construction) must be >= 10x faster than lowering the same
+   schedule through the scalar Python event walk
+   (:func:`~repro.sim.compiler.compile_schedule_via_walk`) on a large
+   GAN generator layer, while producing an event-for-event identical
+   :class:`~repro.sim.compiler.CompiledSchedule`.
+2. **Fused batch execution** — :class:`~repro.sim.batch.BatchEngine`
+   running 32 same-shape jobs as one stacked group must be >= 3x faster
+   than the per-job engine loop, with *bit-identical* float64 outputs.
+   The float32 option is reported (and tolerance-checked) alongside.
+
+Both tests append their measurements to ``BENCH_cycle_engine.json``
+(path override: ``RED_BENCH_JSON``), which CI uploads as an artifact.
+Set ``RED_BENCH_QUICK=1`` for the CI smoke configuration (smaller
+layers, lower floors).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.deconv.shapes import DeconvSpec
+from repro.sim.batch import BatchEngine, BatchJob
+from repro.sim.compiler import (
+    build_compiled_schedule,
+    compile_schedule,
+    compile_schedule_via_walk,
+)
+from repro.sim.engine import CycleEngine
+from repro.utils.formatting import render_ascii_table
+
+QUICK = os.environ.get("RED_BENCH_QUICK") == "1"
+REPEATS = 3 if QUICK else 5
+
+# Gate 1: a large DCGAN-generator-style layer (deep-generator spatial
+# extent; channel width is irrelevant to compilation).  The walk costs
+# O(fires) Python iterations, the analytic path O(taps) NumPy calls.
+COMPILE_SIZE = 16 if QUICK else 32
+COMPILE_SPEC = DeconvSpec(
+    input_height=COMPILE_SIZE, input_width=COMPILE_SIZE, in_channels=8,
+    kernel_height=5, kernel_width=5, out_channels=4,
+    stride=2, padding=2, output_padding=1,
+)
+COMPILE_FOLD = 1
+COMPILE_FLOOR = 4.0 if QUICK else 10.0
+
+# Gate 2: an Improved-GAN-deconv2-style layer (small spatial extent,
+# where the per-job loop is Python-overhead-bound) executed for 32
+# identically-shaped jobs.
+FUSED_JOBS = 12 if QUICK else 32
+FUSED_SPEC = DeconvSpec(
+    input_height=4, input_width=4, in_channels=16 if QUICK else 32,
+    kernel_height=5, kernel_width=5, out_channels=8 if QUICK else 16,
+    stride=2, padding=2, output_padding=1,
+)
+FUSED_FLOOR = 2.0 if QUICK else 3.0
+
+JSON_PATH = os.environ.get("RED_BENCH_JSON", "BENCH_cycle_engine.json")
+
+
+def _median_time(fn, repeats=REPEATS) -> float:
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def _record(section: str, payload: dict) -> None:
+    """Merge one gate's measurements into the benchmark JSON artifact.
+
+    Sections from an earlier test in the same run are kept; the
+    run-level keys (``schema``, ``quick``) are always written fresh so
+    they can never be inherited from a stale file.
+    """
+    document: dict = {}
+    try:
+        with open(JSON_PATH, encoding="utf-8") as handle:
+            existing = json.load(handle)
+        if isinstance(existing, dict):
+            document.update(existing)
+    except (FileNotFoundError, json.JSONDecodeError):
+        pass
+    document["schema"] = 1
+    document["quick"] = QUICK
+    document[section] = payload
+    with open(JSON_PATH, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def test_analytic_compile_speedup():
+    spec, fold = COMPILE_SPEC, COMPILE_FOLD
+
+    analytic = build_compiled_schedule(spec, fold)
+    walked = compile_schedule_via_walk(spec, fold)
+    assert analytic.same_events(walked), (
+        "analytic compiler diverged from the scalar-walk oracle"
+    )
+
+    t_walk = _median_time(lambda: compile_schedule_via_walk(spec, fold))
+    t_analytic = _median_time(lambda: build_compiled_schedule(spec, fold))
+    speedup = t_walk / t_analytic
+    emit(
+        render_ascii_table(
+            ("compile path", "wall-clock (ms)", "speedup"),
+            [
+                ("scalar event walk (oracle)", f"{t_walk * 1e3:.2f}", "1.00x"),
+                ("analytic (meshgrid)", f"{t_analytic * 1e3:.2f}", f"{speedup:.1f}x"),
+            ],
+            title=(
+                f"ISSUE-3 schedule compilation on {spec.describe()} "
+                f"fold={fold} (quick={QUICK})"
+            ),
+        )
+    )
+    _record(
+        "compile",
+        {
+            "layer": spec.describe(),
+            "fold": fold,
+            "num_fires": analytic.num_fires,
+            "walk_s": t_walk,
+            "analytic_s": t_analytic,
+            "speedup": speedup,
+            "floor": COMPILE_FLOOR,
+        },
+    )
+    assert speedup >= COMPILE_FLOOR, (
+        f"analytic compile only {speedup:.1f}x faster than the scalar walk "
+        f"(floor {COMPILE_FLOOR}x); walk={t_walk:.4f}s analytic={t_analytic:.4f}s"
+    )
+
+
+def test_fused_batch_speedup():
+    spec = FUSED_SPEC
+    jobs = [BatchJob(spec, fold=1, seed=seed) for seed in range(FUSED_JOBS)]
+    engine = BatchEngine()
+    operands = [engine.operands_for(job) for job in jobs]
+    compile_schedule(spec, 1)  # warm the schedule LRU for both paths
+
+    def per_job_loop():
+        return [
+            CycleEngine(spec, fold=1, trace_limit=0).run(x, w) for x, w in operands
+        ]
+
+    def fused():
+        return engine.run(jobs, operands=operands)
+
+    # Correctness gate first: fused float64 outputs are bit-identical to
+    # the per-job engine, job for job.
+    batch = fused()
+    for run, result in zip(per_job_loop(), batch.results):
+        assert result.cycles == run.cycles
+        assert result.counters == run.counters.as_dict()
+        np.testing.assert_array_equal(result.output, run.output)
+
+    t_per_job = _median_time(per_job_loop)
+    t_fused = _median_time(fused)
+    speedup = t_per_job / t_fused
+
+    engine32 = BatchEngine(dtype=np.float32)
+    batch32 = engine32.run(jobs, operands=operands)
+    t_fused32 = _median_time(lambda: engine32.run(jobs, operands=operands))
+    np.testing.assert_allclose(
+        batch32.results[0].output, batch.results[0].output, rtol=1e-4, atol=1e-4
+    )
+
+    emit(
+        render_ascii_table(
+            ("execution path", "wall-clock (ms)", "jobs/s", "speedup"),
+            [
+                (
+                    "per-job engine loop",
+                    f"{t_per_job * 1e3:.2f}",
+                    f"{FUSED_JOBS / t_per_job:.0f}",
+                    "1.00x",
+                ),
+                (
+                    "fused batch (float64, bit-identical)",
+                    f"{t_fused * 1e3:.2f}",
+                    f"{FUSED_JOBS / t_fused:.0f}",
+                    f"{speedup:.2f}x",
+                ),
+                (
+                    "fused batch (float32)",
+                    f"{t_fused32 * 1e3:.2f}",
+                    f"{FUSED_JOBS / t_fused32:.0f}",
+                    f"{t_per_job / t_fused32:.2f}x",
+                ),
+            ],
+            title=(
+                f"ISSUE-3 fused execution: {FUSED_JOBS} x {spec.describe()} "
+                f"(quick={QUICK})"
+            ),
+        )
+    )
+    _record(
+        "fused",
+        {
+            "layer": spec.describe(),
+            "jobs": FUSED_JOBS,
+            "per_job_s": t_per_job,
+            "fused_s": t_fused,
+            "fused_float32_s": t_fused32,
+            "speedup": speedup,
+            "float32_speedup": t_per_job / t_fused32,
+            "jobs_per_s_fused": FUSED_JOBS / t_fused,
+            "bit_identical_float64": True,
+            "floor": FUSED_FLOOR,
+        },
+    )
+    assert speedup >= FUSED_FLOOR, (
+        f"fused batch only {speedup:.2f}x faster than the per-job loop "
+        f"(floor {FUSED_FLOOR}x); per-job={t_per_job:.4f}s fused={t_fused:.4f}s"
+    )

@@ -74,6 +74,9 @@ class RedService:
         service_threads: thread-pool width for :meth:`submit`.
         max_sub_crossbars: SC budget used to resolve ``fold='auto'`` on
             cycle-level (trace) runs.
+        cycle_dtype: execution dtype of the fused cycle-level batch
+            executor (``"float64"`` — bit-identical to per-job engine
+            runs — or ``"float32"`` for throughput-bound sweeps).
     """
 
     def __init__(
@@ -83,6 +86,7 @@ class RedService:
         tech: TechnologyParams | None = None,
         service_threads: int = 4,
         max_sub_crossbars: int = 128,
+        cycle_dtype: str = "float64",
     ) -> None:
         if num_workers < 1:
             raise ParameterError(f"num_workers must be >= 1, got {num_workers}")
@@ -93,6 +97,7 @@ class RedService:
         self.tech = tech
         self.service_threads = service_threads
         self.max_sub_crossbars = max_sub_crossbars
+        self.cycle_dtype = cycle_dtype
         self._executor: ThreadPoolExecutor | None = None
         self._lock = threading.Lock()
 
@@ -117,7 +122,10 @@ class RedService:
         if request.trace:
             cycle_stats = tuple(
                 run_cycle_jobs(
-                    jobs, cache=self.cache, max_sub_crossbars=self.max_sub_crossbars
+                    jobs,
+                    cache=self.cache,
+                    max_sub_crossbars=self.max_sub_crossbars,
+                    dtype=self.cycle_dtype,
                 )
             )
         return EvaluationResult(
@@ -240,11 +248,21 @@ class RedService:
         return [future.result() for future in futures]
 
     def close(self) -> None:
-        """Shut the service thread pool down (idempotent)."""
+        """Shut the service thread pool down and release compiled
+        schedules (idempotent).
+
+        A long-lived service that traced many distinct large layer
+        shapes holds their compiled-schedule index arrays in the
+        process-wide LRU (:func:`repro.sim.compiler.schedule_cache_info`);
+        closing the service returns that memory.
+        """
+        from repro.sim.compiler import clear_compiled_schedules
+
         with self._lock:
             executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=True)
+        clear_compiled_schedules()
 
     def __enter__(self) -> "RedService":
         return self

@@ -326,15 +326,21 @@ def run_cycle_jobs(
     jobs: list[DesignJob] | tuple[DesignJob, ...],
     cache: SweepCache | str | os.PathLike | None = None,
     max_sub_crossbars: int = 128,
+    dtype: str = "float64",
 ) -> list[CycleStats | None]:
     """Cycle-level companion to :func:`run_design_jobs`.
 
     Runs every trace-capable job (``supports_trace`` in its registry
     entry — RED) through the :class:`~repro.sim.batch.BatchEngine` and
     returns :class:`CycleStats` per job, in job order; jobs whose design
-    has no cycle engine yield ``None``.  Results are persisted in the
-    same :class:`SweepCache` as the analytic metrics, under the
-    ``"cycles"`` kind, so repeated traced evaluations are near-free.
+    has no cycle engine yield ``None``.  All cache misses execute as one
+    fused batch — jobs sharing a ``(spec, fold)`` pair run stacked over
+    a single analytically compiled schedule — and ``dtype="float32"``
+    opts throughput-bound sweeps into single-precision execution (the
+    persisted :class:`CycleStats` are operand-independent either way).
+    Results are persisted in the same :class:`SweepCache` as the
+    analytic metrics, under the ``"cycles"`` kind, so repeated traced
+    evaluations are near-free.
     """
     jobs = list(jobs)
     cache = _coerce_cache(cache)
@@ -356,7 +362,7 @@ def run_cycle_jobs(
         for index in pending:
             groups.setdefault(job_key(jobs[index], CYCLES_KIND), []).append(index)
         unique_jobs = [jobs[indices[0]] for indices in groups.values()]
-        engine = BatchEngine(max_sub_crossbars=max_sub_crossbars)
+        engine = BatchEngine(max_sub_crossbars=max_sub_crossbars, dtype=dtype)
         batch = engine.run(
             [
                 BatchJob(

@@ -1,15 +1,22 @@
 """Cycle-level simulation utilities: counters, traces, instrumented runs,
-and the batched multi-job engine."""
+the analytic schedule compiler and the fused multi-job engine."""
 
 from repro.sim.counters import CounterSet
 from repro.sim.trace import Trace, TraceEvent
-from repro.sim.engine import (
+from repro.sim.compiler import (
     CompiledSchedule,
-    CycleEngine,
-    InstrumentedRun,
+    ScheduleCacheEntry,
+    ScheduleCacheInfo,
+    TapGroup,
+    build_compiled_schedule,
     clear_compiled_schedules,
     compile_schedule,
+    compile_schedule_via_walk,
+    configure_schedule_cache,
+    schedule_cache_info,
+    walk_events,
 )
+from repro.sim.engine import CycleEngine, InstrumentedRun, counters_from_schedule
 from repro.sim.batch import BatchEngine, BatchJob, BatchJobResult, BatchResult
 
 __all__ = [
@@ -17,10 +24,19 @@ __all__ = [
     "Trace",
     "TraceEvent",
     "CompiledSchedule",
+    "TapGroup",
+    "ScheduleCacheEntry",
+    "ScheduleCacheInfo",
     "CycleEngine",
     "InstrumentedRun",
+    "build_compiled_schedule",
     "clear_compiled_schedules",
     "compile_schedule",
+    "compile_schedule_via_walk",
+    "configure_schedule_cache",
+    "counters_from_schedule",
+    "schedule_cache_info",
+    "walk_events",
     "BatchEngine",
     "BatchJob",
     "BatchJobResult",

@@ -7,170 +7,39 @@ counts are validated against (``tests/integration``).  The arithmetic is
 identical to :meth:`repro.core.red_design.REDDesign.run_cycle_accurate`;
 this engine adds observability rather than a second semantics.
 
-The schedule walk is *compiled* once per ``(spec, fold)`` pair into flat
-NumPy index arrays (:func:`compile_schedule`, LRU-cached) and the MAC
-accumulation is executed as one batched matmul per kernel tap instead of
-one Python-level matvec per (round, fold, sub-crossbar) event.  With
-tracing disabled (``trace_limit=0`` — the
-:class:`~repro.sim.batch.BatchEngine` hot path), repeated runs over the
-same layer shape skip the Python walk entirely; a traced run still
-streams one scalar walk per call into its bounded event ring.
+The schedule is *compiled* once per ``(spec, fold)`` pair into flat NumPy
+index arrays by the analytic compiler (:mod:`repro.sim.compiler` —
+closed-form meshgrid construction, LRU-cached, no Python event walk) and
+the MAC accumulation is executed as one batched matmul per kernel tap
+instead of one Python-level matvec per (round, fold, sub-crossbar) event.
+With tracing disabled (``trace_limit=0`` — the
+:class:`~repro.sim.batch.BatchEngine` hot path), runs never touch the
+scalar walk at all; a traced run still streams one scalar walk
+(:func:`~repro.sim.compiler.walk_events`) per call into its bounded
+event ring.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 
 import numpy as np
 
-from repro.core.dataflow import ZeroSkippingSchedule
-from repro.core.fold import fold_sct, fold_tap_slots
+from repro.core.fold import fold_sct
 from repro.core.mapping import build_sct
-from repro.deconv.modes import decompose_modes
-from repro.deconv.shapes import DeconvSpec
 from repro.errors import ShapeError
+from repro.deconv.shapes import DeconvSpec
+from repro.sim.compiler import (  # noqa: F401  (re-exported compatibility surface)
+    CompiledSchedule,
+    TapGroup,
+    clear_compiled_schedules,
+    compile_schedule,
+    configure_schedule_cache,
+    schedule_cache_info,
+    walk_events,
+)
 from repro.sim.counters import CounterSet
 from repro.sim.trace import Trace
-
-
-@dataclass(frozen=True)
-class TapGroup:
-    """All fire events of one kernel tap, batched for vector execution.
-
-    Attributes:
-        tap: flat tap index ``kh * KW + kw``.
-        phys: physical sub-crossbar holding the tap.
-        slot: Eq. 2 fold slot of the tap within ``phys``.
-        pixels: flat input-pixel index (``ih * IW + iw``) per event.
-        outputs: flat output-pixel index (``oy * OW + ox``) per event;
-            unique within a group (one block writes one pixel per mode).
-    """
-
-    tap: int
-    phys: int
-    slot: int
-    pixels: np.ndarray
-    outputs: np.ndarray
-
-
-@dataclass(frozen=True)
-class CompiledSchedule:
-    """The zero-skipping schedule lowered to flat event arrays.
-
-    Weight-independent: depends only on ``(spec, fold)``, so one compiled
-    schedule serves every run over the same layer shape.  Holds only what
-    the math and counters need; per-event trace data is never stored here
-    — traced runs stream :func:`_walk_events` straight into the bounded
-    trace ring instead.
-    """
-
-    spec: DeconvSpec
-    fold: int
-    num_slots: int
-    cycles: int
-    tap_groups: tuple[TapGroup, ...]
-    num_fires: int
-    sc_idle: int
-    buffer_reads: int
-    output_pixels: int
-
-
-def _walk_events(spec: DeconvSpec, fold: int):
-    """Generate the scalar walk's events, one at a time, in exact order.
-
-    Yields ``('fetch', slot, pixel)``, ``('idle', slot, f)``,
-    ``('fire', slot, f, n, tap, pixel, target)`` and
-    ``('write', slot, (oy, ox, mode))`` — the single source of truth both
-    for schedule compilation and for trace replay, without ever
-    materializing the full event list.
-    """
-    schedule = ZeroSkippingSchedule(spec)
-    tap_slots = fold_tap_slots(spec, fold)
-    tap_mode = {
-        kh * spec.kernel_width + kw: idx
-        for idx, mode in enumerate(decompose_modes(spec))
-        for kh, kw in mode.taps
-    }
-    for slot_index, slot in enumerate(schedule.cycles()):
-        mode_target = {mode: (oy, ox) for oy, ox, mode in slot.outputs}
-        for pixel in slot.distinct_inputs:
-            yield ("fetch", slot_index, pixel)
-        for f in range(fold):
-            for n, slots in enumerate(tap_slots):
-                tap = slots[f]
-                if tap is None:
-                    continue
-                kh, kw = divmod(tap, spec.kernel_width)
-                pixel = slot.assignments.get((kh, kw))
-                if pixel is None:
-                    yield ("idle", slot_index, f)
-                    continue
-                target = mode_target.get(tap_mode[tap])
-                if target is None:
-                    yield ("idle", slot_index, f)
-                    continue
-                yield ("fire", slot_index, f, n, tap, pixel, target)
-        for out in slot.outputs:
-            yield ("write", slot_index, out)
-
-
-@lru_cache(maxsize=64)
-def compile_schedule(spec: DeconvSpec, fold: int) -> CompiledSchedule:
-    """Lower the schedule to batched index arrays (math + counters only).
-
-    Cached per ``(spec, fold)``; a compiled schedule's index arrays scale
-    with the layer's fire-event count, so long-lived processes sweeping
-    many large distinct shapes can call :func:`clear_compiled_schedules`
-    to release them.
-    """
-    iw, ow = spec.input_width, spec.output_width
-    per_tap: dict[int, tuple[int, int, list[int], list[int]]] = {}
-    num_fires = 0
-    buffer_reads = 0
-    output_pixels = 0
-    sc_idle = 0
-    for event in _walk_events(spec, fold):
-        kind = event[0]
-        if kind == "fire":
-            _, _slot, f, n, tap, pixel, target = event
-            entry = per_tap.setdefault(tap, (n, f, [], []))
-            entry[2].append(pixel[0] * iw + pixel[1])
-            entry[3].append(target[0] * ow + target[1])
-            num_fires += 1
-        elif kind == "fetch":
-            buffer_reads += 1
-        elif kind == "idle":
-            sc_idle += 1
-        else:
-            output_pixels += 1
-    blocks_y, blocks_x = ZeroSkippingSchedule(spec).num_blocks
-    num_slots = blocks_y * blocks_x
-    return CompiledSchedule(
-        spec=spec,
-        fold=fold,
-        num_slots=num_slots,
-        cycles=num_slots * fold,
-        tap_groups=tuple(
-            TapGroup(
-                tap=tap,
-                phys=n,
-                slot=f,
-                pixels=np.asarray(pixels, dtype=np.intp),
-                outputs=np.asarray(outputs, dtype=np.intp),
-            )
-            for tap, (n, f, pixels, outputs) in sorted(per_tap.items())
-        ),
-        num_fires=num_fires,
-        sc_idle=sc_idle,
-        buffer_reads=buffer_reads,
-        output_pixels=output_pixels,
-    )
-
-
-def clear_compiled_schedules() -> None:
-    """Release every cached compiled schedule (memory pressure valve)."""
-    compile_schedule.cache_clear()
 
 
 @dataclass
@@ -181,6 +50,28 @@ class InstrumentedRun:
     cycles: int
     counters: CounterSet
     trace: Trace
+
+
+def counters_from_schedule(compiled: CompiledSchedule) -> CounterSet:
+    """The activity counters a run over ``compiled`` tallies.
+
+    Only counters that fired are materialized, matching the event-driven
+    accounting (a key exists iff at least one event occurred).  Shared by
+    :class:`CycleEngine` and the fused
+    :class:`~repro.sim.batch.BatchEngine` executor.
+    """
+    c = compiled.spec.in_channels
+    counters = CounterSet()
+    for name, value in (
+        ("buffer_reads", compiled.buffer_reads),
+        ("sc_fire", compiled.num_fires),
+        ("live_rows", compiled.num_fires * c),
+        ("sc_idle", compiled.sc_idle),
+        ("output_pixels", compiled.output_pixels),
+    ):
+        if value:
+            counters.add(name, value)
+    return counters
 
 
 class CycleEngine:
@@ -221,37 +112,25 @@ class CycleEngine:
             # Output pixels are unique within a tap group, so a fancy-index
             # accumulate is exact (no np.add.at needed).
             out_flat[group.outputs] += x_rows[group.pixels] @ segment
-        counters = CounterSet()
-        # Only materialize counters that fired, matching the event-driven
-        # accounting (a key exists iff at least one event occurred).
-        for name, value in (
-            ("buffer_reads", compiled.buffer_reads),
-            ("sc_fire", compiled.num_fires),
-            ("live_rows", compiled.num_fires * c),
-            ("sc_idle", compiled.sc_idle),
-            ("output_pixels", compiled.output_pixels),
-        ):
-            if value:
-                counters.add(name, value)
         trace = Trace(max_events=self.trace_limit)
         if self.trace_limit > 0:
             self._replay_trace(compiled, trace)
         return InstrumentedRun(
             output=out_flat.reshape(oh, ow, m),
             cycles=compiled.cycles,
-            counters=counters,
+            counters=counters_from_schedule(compiled),
             trace=trace,
         )
 
     def _replay_trace(self, compiled: CompiledSchedule, trace: Trace) -> None:
         """Re-emit the per-slot event interleaving of the scalar walk.
 
-        Streams :func:`_walk_events` directly into the bounded trace ring,
-        so memory stays capped at ``trace_limit`` regardless of layer size
-        (the old scalar engine's behavior).
+        Streams :func:`~repro.sim.compiler.walk_events` directly into the
+        bounded trace ring, so memory stays capped at ``trace_limit``
+        regardless of layer size (the old scalar engine's behavior).
         """
         fold = compiled.fold
-        for event in _walk_events(compiled.spec, fold):
+        for event in walk_events(compiled.spec, fold):
             kind = event[0]
             base = event[1] * fold
             if kind == "fetch":

@@ -208,3 +208,23 @@ class TestConcurrency:
             results = service.gather(futures)
         reference = [r.metrics_for("RED").latency.total for r in results]
         assert len(set(reference)) == 1
+
+
+class TestScheduleCacheLifecycle:
+    def test_close_releases_compiled_schedules(self):
+        from repro.sim.compiler import clear_compiled_schedules, schedule_cache_info
+
+        clear_compiled_schedules()
+        service = RedService()
+        service.evaluate(EvaluationRequest(spec=SPEC, trace=True))
+        assert schedule_cache_info().size >= 1
+        service.close()
+        assert schedule_cache_info().size == 0
+
+    def test_float32_cycle_stats_match_float64(self, tmp_path):
+        request = EvaluationRequest(spec=SPEC, trace=True)
+        exact = RedService().evaluate(request)
+        fast = RedService(cycle_dtype="float32").evaluate(request)
+        # CycleStats hold schedule-level observables only, so the
+        # execution dtype must not change them.
+        assert fast.cycle_stats == exact.cycle_stats

@@ -3,7 +3,10 @@
 The ISSUE-1 contract: ``BatchEngine`` outputs, cycle counts and counters
 must match per-job :class:`~repro.sim.engine.CycleEngine` runs *exactly*
 (bit-identical outputs, equal counter dicts) across strides 1-4 and
-folds ``{1, 'auto'}``.
+folds ``{1, 'auto'}``.  Since ISSUE-3 the default path executes jobs
+*fused* — same-``(spec, fold)`` jobs stacked into one batched matmul per
+kernel tap — so these tests now gate the fused executor's float64
+bit-identity; the float32 option is tolerance-tested separately.
 """
 
 import numpy as np
@@ -80,6 +83,76 @@ class TestBatchEquivalence:
             np.testing.assert_array_equal(ra.output, rb.output)
             assert ra.counters == rb.counters
 
+    def test_interleaved_groups_keep_job_order(self):
+        """Fused grouping must not reorder results: jobs of two shapes
+        interleaved come back in submission order, each bit-identical to
+        its own per-job engine run."""
+        spec_a, spec_b = spec_for_stride(2), spec_for_stride(3)
+        jobs = [
+            BatchJob(spec_a, seed=0), BatchJob(spec_b, seed=1),
+            BatchJob(spec_a, seed=2), BatchJob(spec_b, seed=3),
+            BatchJob(spec_a, seed=4),
+        ]
+        engine = BatchEngine()
+        batch = engine.run(jobs)
+        for job, result in zip(jobs, batch.results):
+            assert result.job is job
+            x, w = engine.operands_for(job)
+            reference = CycleEngine(job.spec, fold=result.fold).run(x, w)
+            np.testing.assert_array_equal(result.output, reference.output)
+
+    def test_traced_fallback_matches_fused_results(self):
+        """trace_limit > 0 takes the per-job path; same numbers out."""
+        jobs = [BatchJob(spec_for_stride(2), seed=s) for s in (0, 1)]
+        fused = BatchEngine().run(jobs)
+        traced = BatchEngine(trace_limit=1000).run(jobs)
+        for rf, rt in zip(fused.results, traced.results):
+            np.testing.assert_array_equal(rf.output, rt.output)
+            assert rf.counters == rt.counters
+            assert rf.cycles == rt.cycles
+
+
+class TestExecutionDtype:
+    def test_float32_within_single_precision_tolerance(self):
+        jobs = [BatchJob(spec_for_stride(s), seed=s) for s in STRIDES]
+        exact = BatchEngine().run(jobs)
+        approx = BatchEngine(dtype=np.float32).run(jobs)
+        for re, ra in zip(exact.results, approx.results):
+            assert ra.output.dtype == np.float32
+            np.testing.assert_allclose(
+                ra.output, re.output, rtol=1e-4, atol=1e-4
+            )
+            # Schedule-level observables are dtype-independent.
+            assert ra.cycles == re.cycles
+            assert ra.counters == re.counters
+
+    def test_float64_is_default_and_bit_identical(self):
+        job = BatchJob(spec_for_stride(2), seed=9)
+        engine = BatchEngine()
+        assert engine.dtype == np.float64
+        x, w = engine.operands_for(job)
+        np.testing.assert_array_equal(
+            engine.run([job]).results[0].output,
+            CycleEngine(job.spec, fold=1).run(x, w).output,
+        )
+
+    def test_non_float_dtype_rejected(self):
+        with pytest.raises(ParameterError):
+            BatchEngine(dtype=np.int32)
+
+    def test_float32_with_tracing_rejected(self):
+        """The traced fallback is float64-only; don't silently ignore."""
+        with pytest.raises(ParameterError):
+            BatchEngine(dtype=np.float32, trace_limit=100)
+
+    def test_fused_outputs_own_their_memory(self):
+        """Keeping one job's output must not pin the whole group arena."""
+        results = BatchEngine().run(
+            [BatchJob(spec_for_stride(2), seed=s) for s in range(3)]
+        ).results
+        for result in results:
+            assert result.output.base is None
+
 
 class TestBatchAggregates:
     def test_total_cycles_is_job_sum(self):
@@ -104,6 +177,28 @@ class TestBatchAggregates:
         assert summary["mean_cycles_per_job"] == batch.total_cycles
         assert summary["sc_fires"] > 0
 
+    def test_summary_reports_grouping_efficiency(self):
+        """Fold distribution and per-group job counts (ISSUE-3)."""
+        spec_a, spec_b = spec_for_stride(2), spec_for_stride(3)
+        batch = BatchEngine().run(
+            [
+                BatchJob(spec_a, fold=1, seed=0),
+                BatchJob(spec_a, fold=1, seed=1),
+                BatchJob(spec_a, fold=2, seed=2),
+                BatchJob(spec_b, fold=1, seed=3),
+            ]
+        )
+        summary = batch.summary()
+        assert summary["fold_distribution"] == {1: 3, 2: 1}
+        assert summary["num_groups"] == 3
+        assert summary["group_sizes"] == [2, 1, 1]
+        assert summary["mean_jobs_per_group"] == pytest.approx(4 / 3)
+        assert batch.group_sizes() == {
+            (spec_a, 1): 2,
+            (spec_a, 2): 1,
+            (spec_b, 1): 1,
+        }
+
 
 class TestBatchValidation:
     def test_empty_jobs_rejected(self):
@@ -121,6 +216,14 @@ class TestBatchValidation:
     def test_bad_fold_rejected(self):
         with pytest.raises(ParameterError):
             BatchEngine().run([BatchJob(spec_for_stride(1), fold=0)])
+
+    def test_wrong_operand_shapes_rejected(self):
+        spec = spec_for_stride(2)
+        x, w = random_operands(spec)
+        with pytest.raises(ShapeError):
+            BatchEngine().run([BatchJob(spec)], operands=[(x[:-1], w)])
+        with pytest.raises(ShapeError):
+            BatchEngine().run([BatchJob(spec)], operands=[(x, w[..., :-1])])
 
     def test_trace_disabled_on_hot_path_by_default(self):
         spec = spec_for_stride(2)
