@@ -67,6 +67,13 @@ class DesignEntry:
             trace/cycle statistics can be computed and cached for it.
         baseline: the design every paper figure normalizes against.
         description: one-line summary for introspection output.
+        perf_batch: optional vectorized perf-input hook, called as
+            ``perf_batch(specs, folds, tech, layer_names)`` and
+            returning a :class:`~repro.arch.metrics_batch.PerfInputBatch`
+            covering every job closed-form (no per-job design objects).
+            Designs with a hook are evaluated through the vectorized
+            analytic plane (:mod:`repro.eval.vectorized`); designs
+            without one fall back to the scalar per-job path.
     """
 
     name: str
@@ -76,6 +83,7 @@ class DesignEntry:
     supports_trace: bool = False
     baseline: bool = False
     description: str = ""
+    perf_batch: Callable[..., object] | None = None
 
 
 #: Canonical name -> entry, in registration order (dicts preserve it).
@@ -92,6 +100,7 @@ def register_design(
     supports_trace: bool = False,
     baseline: bool = False,
     description: str = "",
+    perf_batch: Callable[..., object] | None = None,
 ):
     """Class/function decorator registering a design factory under ``name``.
 
@@ -111,6 +120,7 @@ def register_design(
             supports_trace=supports_trace,
             baseline=baseline,
             description=description or (inspect.getdoc(factory) or "").split("\n")[0],
+            perf_batch=perf_batch,
         )
         claimed = [name, *entry.aliases]
         for label in claimed:
@@ -205,13 +215,33 @@ def build_design(name: str, spec, tech=None, fold=None):
 
 # ----------------------------------------------------------------------
 # Built-in designs (paper Fig. 3a, Fig. 3b, and RED itself).  Factories
-# import their classes lazily so this module stays a leaf.
+# and batch hooks import their classes lazily so this module stays a
+# leaf.
 # ----------------------------------------------------------------------
+def _zero_padding_perf_batch(specs, folds=None, tech=None, layer_names=None):
+    from repro.designs.zero_padding_design import ZeroPaddingDesign
+
+    return ZeroPaddingDesign.perf_input_batch(specs, folds, tech, layer_names)
+
+
+def _padding_free_perf_batch(specs, folds=None, tech=None, layer_names=None):
+    from repro.designs.padding_free_design import PaddingFreeDesign
+
+    return PaddingFreeDesign.perf_input_batch(specs, folds, tech, layer_names)
+
+
+def _red_perf_batch(specs, folds, tech=None, layer_names=None):
+    from repro.core.red_design import REDDesign
+
+    return REDDesign.perf_input_batch(specs, folds, tech, layer_names)
+
+
 @register_design(
     "zero-padding",
     aliases=("zp", "zero_padding"),
     baseline=True,
     description="Algorithm 1 baseline: zero-inserted input, dense crossbar",
+    perf_batch=_zero_padding_perf_batch,
 )
 def _build_zero_padding(spec, tech):
     from repro.designs.zero_padding_design import ZeroPaddingDesign
@@ -223,6 +253,7 @@ def _build_zero_padding(spec, tech):
     "padding-free",
     aliases=("pf", "padding_free"),
     description="Algorithm 2 baseline: wide-row matrix, overlap-add + crop",
+    perf_batch=_padding_free_perf_batch,
 )
 def _build_padding_free(spec, tech):
     from repro.designs.padding_free_design import PaddingFreeDesign
@@ -236,6 +267,7 @@ def _build_padding_free(spec, tech):
     accepts_fold=True,
     supports_trace=True,
     description="Pixel-wise mapped, zero-skipping deconvolution (the paper)",
+    perf_batch=_red_perf_batch,
 )
 def _build_red(spec, tech, fold="auto"):
     from repro.core.red_design import REDDesign

@@ -77,6 +77,11 @@ class RedService:
         cycle_dtype: execution dtype of the fused cycle-level batch
             executor (``"float64"`` — bit-identical to per-job engine
             runs — or ``"float32"`` for throughput-bound sweeps).
+        vectorized: route analytic cache misses through the
+            struct-of-arrays evaluation plane
+            (:mod:`repro.eval.vectorized`, the default).  ``False``
+            forces the scalar per-job oracle path — results are
+            bit-identical either way.
     """
 
     def __init__(
@@ -87,6 +92,7 @@ class RedService:
         service_threads: int = 4,
         max_sub_crossbars: int = 128,
         cycle_dtype: str = "float64",
+        vectorized: bool = True,
     ) -> None:
         if num_workers < 1:
             raise ParameterError(f"num_workers must be >= 1, got {num_workers}")
@@ -98,6 +104,7 @@ class RedService:
         self.service_threads = service_threads
         self.max_sub_crossbars = max_sub_crossbars
         self.cycle_dtype = cycle_dtype
+        self.vectorized = vectorized
         self._executor: ThreadPoolExecutor | None = None
         self._lock = threading.Lock()
 
@@ -117,7 +124,12 @@ class RedService:
             DesignJob(design, spec, tech, fold=request.fold, layer_name=label)
             for design in designs
         ]
-        metrics = run_design_jobs(jobs, num_workers=self.num_workers, cache=self.cache)
+        metrics = run_design_jobs(
+            jobs,
+            num_workers=self.num_workers,
+            cache=self.cache,
+            vectorized=self.vectorized,
+        )
         cycle_stats: tuple = ()
         if request.trace:
             cycle_stats = tuple(
@@ -304,7 +316,12 @@ class RedService:
             for layer in layers
             for design in designs
         ]
-        evaluated = run_design_jobs(jobs, num_workers=self.num_workers, cache=self.cache)
+        evaluated = run_design_jobs(
+            jobs,
+            num_workers=self.num_workers,
+            cache=self.cache,
+            vectorized=self.vectorized,
+        )
         metrics: dict[str, dict[str, object]] = {}
         for job, result in zip(jobs, evaluated):
             metrics.setdefault(job.layer_name, {})[job.design] = result
@@ -343,7 +360,12 @@ class RedService:
                 DesignJob(traced, spec, tech, fold=fold, layer_name=f"stride{stride}")
             )
             jobs.append(DesignJob(baseline, spec, tech, layer_name=f"stride{stride}"))
-        metrics = run_design_jobs(jobs, num_workers=self.num_workers, cache=self.cache)
+        metrics = run_design_jobs(
+            jobs,
+            num_workers=self.num_workers,
+            cache=self.cache,
+            vectorized=self.vectorized,
+        )
         points = []
         for index, stride in enumerate(ordered):
             red_metrics = metrics[2 * index]
@@ -383,7 +405,12 @@ class RedService:
             for design in designs
             for mapped in layers
         ]
-        evaluated = run_design_jobs(jobs, num_workers=self.num_workers, cache=self.cache)
+        evaluated = run_design_jobs(
+            jobs,
+            num_workers=self.num_workers,
+            cache=self.cache,
+            vectorized=self.vectorized,
+        )
         metrics: dict[str, dict[str, object]] = {}
         for job, result in zip(jobs, evaluated):
             metrics.setdefault(job.design, {})[job.layer_name] = result

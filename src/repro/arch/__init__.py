@@ -25,6 +25,13 @@ from repro.arch.breakdown import (
 )
 from repro.arch.perf_input import DesignPerfInput, DecoderBank
 from repro.arch.metrics import evaluate_design
+from repro.arch.metrics_batch import (
+    PerfInputBatch,
+    area_breakdown_batch,
+    energy_breakdown_batch,
+    evaluate_perf_batch,
+    latency_breakdown_batch,
+)
 from repro.arch.wires import WireModel
 from repro.arch.subarray import SubarrayTiling, tile_logical_array
 
@@ -41,6 +48,11 @@ __all__ = [
     "DesignPerfInput",
     "DecoderBank",
     "evaluate_design",
+    "PerfInputBatch",
+    "latency_breakdown_batch",
+    "energy_breakdown_batch",
+    "area_breakdown_batch",
+    "evaluate_perf_batch",
     "WireModel",
     "SubarrayTiling",
     "tile_logical_array",

@@ -91,6 +91,50 @@ def resolve_fold(spec, fold: int | str, max_sub_crossbars: int = 128) -> int:
     raise ParameterError(f"fold must be 'auto' or an int >= 1, got {fold!r}")
 
 
+def choose_fold_batch(num_taps, max_sub_crossbars: int = 128) -> np.ndarray:
+    """Vectorized :func:`choose_fold`: one fold per tap count.
+
+    Same doubling rule — smallest power of two keeping
+    ``ceil(taps / fold) <= max_sub_crossbars`` — applied to an ``int64``
+    array of ``KH * KW`` values at once.
+    """
+    check_positive_int(max_sub_crossbars, "max_sub_crossbars")
+    taps = np.asarray(num_taps, dtype=np.int64)
+    fold = np.ones_like(taps)
+    while True:
+        over = -(-taps // fold) > max_sub_crossbars
+        if not over.any():
+            return fold
+        fold[over] *= 2
+
+
+def resolve_fold_batch(num_taps, folds, max_sub_crossbars: int = 128) -> np.ndarray:
+    """Vectorized :func:`resolve_fold` over per-job ``'auto'``/int folds.
+
+    ``folds`` is a sequence aligned with ``num_taps``; every entry must
+    be ``'auto'`` or an int >= 1 (the scalar rule), otherwise
+    :class:`~repro.errors.ParameterError` is raised exactly as the
+    scalar path would.
+    """
+    taps = np.asarray(num_taps, dtype=np.int64)
+    if taps.shape[0] != len(folds):
+        raise ParameterError(
+            f"got {taps.shape[0]} tap counts but {len(folds)} folds"
+        )
+    resolved = np.empty_like(taps)
+    auto = np.zeros(taps.shape[0], dtype=bool)
+    for index, fold in enumerate(folds):
+        if fold == "auto":
+            auto[index] = True
+        elif isinstance(fold, int) and fold >= 1:
+            resolved[index] = fold
+        else:
+            raise ParameterError(f"fold must be 'auto' or an int >= 1, got {fold!r}")
+    if auto.any():
+        resolved[auto] = choose_fold_batch(taps[auto], max_sub_crossbars)
+    return resolved
+
+
 def fold_tap_slots(spec, fold: int) -> tuple[tuple[int | None, ...], ...]:
     """Eq. 2 tap-to-slot geometry: ``result[n][f]`` is the flat tap index
     stored in slot ``f`` of physical SC ``n`` (or ``None`` padding).

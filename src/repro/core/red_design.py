@@ -17,13 +17,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.arch.metrics_batch import PerfInputBatch
 from repro.arch.perf_input import DecoderBank, DesignPerfInput
 from repro.core.dataflow import ZeroSkippingSchedule, red_cycle_count
-from repro.core.fold import FoldedSCT, fold_sct, resolve_fold
+from repro.core.fold import FoldedSCT, fold_sct, resolve_fold, resolve_fold_batch
 from repro.core.mapping import build_sct
-from repro.deconv.analysis import useful_mac_count
+from repro.deconv.analysis import useful_mac_count, useful_mac_count_batch
 from repro.deconv.modes import decompose_modes, max_taps_per_mode
-from repro.deconv.shapes import DeconvSpec
+from repro.deconv.shapes import DeconvSpec, SpecArrays
 from repro.designs.base import DeconvDesign, FunctionalRun
 from repro.reram.bitslice import WeightSlicing
 from repro.reram.pipeline import CrossbarPipeline
@@ -253,4 +254,59 @@ class REDDesign(DeconvDesign):
             col_periphery_sets=max(nonempty_modes, 1),
             col_set_width=spec.out_channels,
             row_bank_instances=sc_count,
+        )
+
+    @classmethod
+    def perf_input_batch(
+        cls,
+        specs,
+        folds,
+        tech=None,
+        layer_names=None,
+        max_sub_crossbars: int = 128,
+    ) -> PerfInputBatch:
+        """Closed-form :meth:`perf_input` for many (layer, fold) jobs.
+
+        ``folds`` is a per-job sequence of ``'auto'`` or ints, resolved
+        through the same Eq. 2 rule as the constructor
+        (:func:`~repro.core.fold.resolve_fold_batch`).  The nonempty
+        mode count uses the closed form ``min(KH, s) * min(KW, s)``
+        (:func:`~repro.deconv.modes.num_nonempty_modes`) instead of the
+        full mode decomposition; everything else is the scalar formula
+        applied elementwise.  ``tech`` is accepted for hook uniformity.
+        """
+        arrays = SpecArrays.from_specs(specs)
+        jobs = len(arrays)
+        taps = arrays.num_kernel_taps
+        fold = resolve_fold_batch(taps, folds, max_sub_crossbars)
+        sc_count = -(-taps // fold)
+        blocks_y = -(-arrays.output_height // arrays.stride)
+        blocks_x = -(-arrays.output_width // arrays.stride)
+        nonempty_modes = np.minimum(arrays.kernel_height, arrays.stride) * np.minimum(
+            arrays.kernel_width, arrays.stride
+        )
+        useful = useful_mac_count_batch(arrays)
+        return PerfInputBatch(
+            designs=(cls.name,) * jobs,
+            layers=tuple(layer_names) if layer_names is not None else ("",) * jobs,
+            cycles=fold * blocks_y * blocks_x,
+            wordline_cols=arrays.out_channels,
+            bitline_rows=taps * arrays.in_channels,
+            rows_selected_per_cycle=sc_count * fold * arrays.in_channels,
+            decoder_rows=(fold * arrays.in_channels)[:, None],
+            decoder_counts=sc_count[:, None],
+            conv_values_per_cycle=(
+                np.maximum(nonempty_modes, 1) * arrays.out_channels / fold
+            ),
+            live_row_cycles_total=useful / arrays.out_channels,
+            useful_macs=useful,
+            total_cells_logical=arrays.num_weights,
+            broadcast_instances=sc_count,
+            sa_extra_ops_per_value=(fold - 1) / fold,
+            crop_values_total=np.zeros(jobs, dtype=np.int64),
+            col_periphery_sets=np.maximum(nonempty_modes, 1),
+            col_set_width=arrays.out_channels,
+            row_bank_instances=sc_count,
+            has_crop_unit=np.zeros(jobs, dtype=bool),
+            overlap_adder_cols=np.zeros(jobs, dtype=np.int64),
         )

@@ -72,6 +72,19 @@ def decompose_modes(spec: DeconvSpec) -> list[ComputationMode]:
     ]
 
 
+def num_nonempty_modes(spec: DeconvSpec) -> int:
+    """Closed-form count of modes owning at least one tap.
+
+    The phases ``(kh - p) mod s`` of ``kh in [0, KH)`` are ``KH``
+    consecutive residues, so ``min(KH, s)`` of them are distinct (the
+    padding only rotates the set); H and W factorize, giving
+    ``min(KH, s) * min(KW, s)`` nonempty modes.  Property-tested against
+    :func:`decompose_modes` and used by the vectorized analytic plane,
+    which cannot afford the full decomposition per job.
+    """
+    return min(spec.kernel_height, spec.stride) * min(spec.kernel_width, spec.stride)
+
+
 def max_taps_per_mode(spec: DeconvSpec) -> int:
     """Largest tap count over all modes: ``ceil(K/s)`` per dimension squared.
 

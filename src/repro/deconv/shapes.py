@@ -17,6 +17,10 @@ at the bottom/right), and then runs a stride-1 valid convolution with the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from operator import attrgetter
+from typing import Sequence
+
+import numpy as np
 
 from repro.errors import ShapeError
 from repro.utils.validation import check_non_negative_int, check_positive_int
@@ -215,6 +219,97 @@ class DeconvSpec:
             f"{self.in_channels},{self.out_channels}) stride={self.stride} "
             f"pad={self.padding} out_pad={self.output_padding}"
         )
+
+
+#: The nine constructor fields of :class:`DeconvSpec`, in declaration order.
+_SPEC_FIELDS = attrgetter(
+    "input_height",
+    "input_width",
+    "in_channels",
+    "kernel_height",
+    "kernel_width",
+    "out_channels",
+    "stride",
+    "padding",
+    "output_padding",
+)
+
+
+@dataclass(frozen=True, eq=False)
+class SpecArrays:
+    """Struct-of-arrays view of many :class:`DeconvSpec` instances.
+
+    Every field is a flat ``int64`` array of length ``len(specs)``; the
+    derived-size properties mirror the scalar spec's properties
+    elementwise.  This is the packing layer the vectorized analytic
+    evaluation plane (:mod:`repro.arch.metrics_batch`) computes over —
+    one array op instead of one Python attribute walk per job.
+    """
+
+    input_height: np.ndarray
+    input_width: np.ndarray
+    in_channels: np.ndarray
+    kernel_height: np.ndarray
+    kernel_width: np.ndarray
+    out_channels: np.ndarray
+    stride: np.ndarray
+    padding: np.ndarray
+    output_padding: np.ndarray
+
+    @classmethod
+    def from_specs(cls, specs: Sequence[DeconvSpec]) -> "SpecArrays":
+        """Pack already-validated specs into column arrays."""
+        if len(specs) == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return cls(*([empty] * 9))
+        table = np.asarray([_SPEC_FIELDS(spec) for spec in specs], dtype=np.int64)
+        return cls(*table.T)
+
+    def __len__(self) -> int:
+        return self.input_height.shape[0]
+
+    # ------------------------------------------------------------------
+    # Derived sizes (elementwise mirrors of the DeconvSpec properties)
+    # ------------------------------------------------------------------
+    @property
+    def output_height(self) -> np.ndarray:
+        """``OH = (IH - 1) * s - 2p + KH + op`` per spec."""
+        return (
+            (self.input_height - 1) * self.stride
+            - 2 * self.padding
+            + self.kernel_height
+            + self.output_padding
+        )
+
+    @property
+    def output_width(self) -> np.ndarray:
+        """``OW = (IW - 1) * s - 2p + KW + op`` per spec."""
+        return (
+            (self.input_width - 1) * self.stride
+            - 2 * self.padding
+            + self.kernel_width
+            + self.output_padding
+        )
+
+    @property
+    def num_input_pixels(self) -> np.ndarray:
+        """``IH * IW`` per spec."""
+        return self.input_height * self.input_width
+
+    @property
+    def num_output_pixels(self) -> np.ndarray:
+        """``OH * OW`` per spec."""
+        return self.output_height * self.output_width
+
+    @property
+    def num_kernel_taps(self) -> np.ndarray:
+        """``KH * KW`` per spec."""
+        return self.kernel_height * self.kernel_width
+
+    @property
+    def num_weights(self) -> np.ndarray:
+        """``KH * KW * C * M`` per spec."""
+        return self.num_kernel_taps * self.in_channels * self.out_channels
 
 
 def solve_padding(

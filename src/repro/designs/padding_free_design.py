@@ -18,9 +18,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.arch.metrics_batch import PerfInputBatch
 from repro.arch.perf_input import DecoderBank, DesignPerfInput
-from repro.deconv.analysis import useful_mac_count
+from repro.deconv.analysis import useful_mac_count, useful_mac_count_batch
 from repro.deconv.padding_free import crop_to_output, full_overlap_shape, overlap_add
+from repro.deconv.shapes import SpecArrays
 from repro.designs.base import DeconvDesign, FunctionalRun
 from repro.reram.bitslice import WeightSlicing
 from repro.reram.pipeline import CrossbarPipeline
@@ -131,5 +133,45 @@ class PaddingFreeDesign(DeconvDesign):
             col_set_width=wide_cols,
             row_bank_instances=1,
             has_crop_unit=True,
+            overlap_adder_cols=wide_cols,
+        )
+
+    @classmethod
+    def perf_input_batch(cls, specs, folds=None, tech=None, layer_names=None) -> PerfInputBatch:
+        """Closed-form :meth:`perf_input` for many layers at once.
+
+        Same counts as the scalar method (including the uncropped
+        overlap canvas ``(I-1)s + K``), derived from the packed spec
+        arrays.  ``folds``/``tech`` are accepted for hook uniformity.
+        """
+        arrays = SpecArrays.from_specs(specs)
+        jobs = len(arrays)
+        wide_cols = arrays.num_kernel_taps * arrays.out_channels
+        full_h = (arrays.input_height - 1) * arrays.stride + arrays.kernel_height
+        full_w = (arrays.input_width - 1) * arrays.stride + arrays.kernel_width
+        crop_values = (full_h * full_w - arrays.num_output_pixels) * arrays.out_channels
+        ones = np.ones(jobs, dtype=np.int64)
+        return PerfInputBatch(
+            designs=(cls.name,) * jobs,
+            layers=tuple(layer_names) if layer_names is not None else ("",) * jobs,
+            cycles=arrays.num_input_pixels,
+            wordline_cols=wide_cols,
+            bitline_rows=arrays.in_channels,
+            rows_selected_per_cycle=arrays.in_channels,
+            decoder_rows=arrays.in_channels[:, None],
+            decoder_counts=ones[:, None],
+            conv_values_per_cycle=wide_cols.astype(np.float64),
+            live_row_cycles_total=(
+                arrays.in_channels * arrays.num_input_pixels
+            ).astype(np.float64),
+            useful_macs=useful_mac_count_batch(arrays),
+            total_cells_logical=arrays.num_weights,
+            broadcast_instances=ones,
+            sa_extra_ops_per_value=1.0 + arrays.num_kernel_taps / 8.0,
+            crop_values_total=np.maximum(crop_values, 0),
+            col_periphery_sets=ones,
+            col_set_width=wide_cols,
+            row_bank_instances=ones,
+            has_crop_unit=np.ones(jobs, dtype=bool),
             overlap_adder_cols=wide_cols,
         )

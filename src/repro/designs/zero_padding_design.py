@@ -14,9 +14,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.arch.metrics_batch import PerfInputBatch
 from repro.arch.perf_input import DecoderBank, DesignPerfInput
-from repro.deconv.analysis import useful_mac_count
+from repro.deconv.analysis import useful_mac_count, useful_mac_count_batch
 from repro.deconv.reference import rotate_kernel_180
+from repro.deconv.shapes import SpecArrays
 from repro.deconv.zero_padding import padded_input_vectors, zero_insert_input
 from repro.designs.base import DeconvDesign, FunctionalRun
 from repro.reram.bitslice import WeightSlicing
@@ -127,4 +129,41 @@ class ZeroPaddingDesign(DeconvDesign):
             col_periphery_sets=1,
             col_set_width=spec.out_channels,
             row_bank_instances=1,
+        )
+
+    @classmethod
+    def perf_input_batch(cls, specs, folds=None, tech=None, layer_names=None) -> PerfInputBatch:
+        """Closed-form :meth:`perf_input` for many layers at once.
+
+        Same counts as the scalar method, derived straight from the
+        packed spec arrays — no per-job design objects.  ``folds`` and
+        ``tech`` are accepted for hook-signature uniformity; the
+        zero-padding geometry depends on neither.
+        """
+        arrays = SpecArrays.from_specs(specs)
+        jobs = len(arrays)
+        rows = arrays.num_kernel_taps * arrays.in_channels
+        useful = useful_mac_count_batch(arrays)
+        ones = np.ones(jobs, dtype=np.int64)
+        return PerfInputBatch(
+            designs=(cls.name,) * jobs,
+            layers=tuple(layer_names) if layer_names is not None else ("",) * jobs,
+            cycles=arrays.num_output_pixels,
+            wordline_cols=arrays.out_channels,
+            bitline_rows=rows,
+            rows_selected_per_cycle=rows,
+            decoder_rows=rows[:, None],
+            decoder_counts=ones[:, None],
+            conv_values_per_cycle=arrays.out_channels.astype(np.float64),
+            live_row_cycles_total=useful / arrays.out_channels,
+            useful_macs=useful,
+            total_cells_logical=arrays.num_weights,
+            broadcast_instances=ones,
+            sa_extra_ops_per_value=np.zeros(jobs, dtype=np.float64),
+            crop_values_total=np.zeros(jobs, dtype=np.int64),
+            col_periphery_sets=ones,
+            col_set_width=arrays.out_channels,
+            row_bank_instances=ones,
+            has_crop_unit=np.zeros(jobs, dtype=bool),
+            overlap_adder_cols=np.zeros(jobs, dtype=np.int64),
         )

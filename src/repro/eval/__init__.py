@@ -6,8 +6,11 @@
 * :mod:`repro.eval.paper_targets` — the published numbers and the bands we
   assert against.
 * :mod:`repro.eval.report` — formatted text/CSV emission.
-* :mod:`repro.eval.parallel` — process-pool sweep runner + on-disk
-  result cache every sweep routes through.
+* :mod:`repro.eval.parallel` — sweep runner + on-disk result cache
+  every sweep routes through (vectorized plane by default, process
+  pool for scalar-path designs).
+* :mod:`repro.eval.vectorized` — struct-of-arrays analytic evaluation
+  plane (per-(design, tech) batches, no per-job design objects).
 * :mod:`repro.eval.sweeps` — prose-claim parameter sweeps.
 """
 
@@ -21,6 +24,7 @@ from repro.eval.parallel import (
     run_cycle_jobs,
     run_design_jobs,
 )
+from repro.eval.vectorized import design_supports_batch, evaluate_design_jobs_batch
 from repro.eval.figures import (
     fig4_redundancy_curves,
     fig7_latency,
@@ -48,6 +52,8 @@ __all__ = [
     "job_key",
     "run_cycle_jobs",
     "run_design_jobs",
+    "design_supports_batch",
+    "evaluate_design_jobs_batch",
     "fig4_redundancy_curves",
     "fig7_latency",
     "fig8_energy",

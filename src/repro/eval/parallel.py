@@ -29,10 +29,18 @@ execution substrate for that list:
    (:class:`CycleStats` measured by the cycle-level
    :class:`~repro.sim.batch.BatchEngine`).
 4. :func:`run_design_jobs` — the sweep runner.  Cache hits are resolved
-   first; the misses run either inline (``num_workers <= 1``) or on a
-   process pool in deterministic chunks.  Results always come back in
-   job order, byte-identical regardless of worker count or cache
-   temperature (``tests/properties/test_parallel_determinism.py``).
+   first; the misses are deduped and, by default, evaluated in-process
+   through the vectorized analytic plane
+   (:mod:`repro.eval.vectorized`): one struct-of-arrays batch per
+   (design, tech) group, no per-job design objects.  Designs without a
+   registered ``perf_batch`` hook — and every run with
+   ``vectorized=False`` — take the scalar per-job path instead, inline
+   (``num_workers <= 1``) or on a process pool capped at the unique
+   miss count, in deterministic chunks.  Results always come back in
+   job order, byte-identical regardless of route, worker count or
+   cache temperature
+   (``tests/properties/test_parallel_determinism.py``,
+   ``tests/eval/test_vectorized.py``).
 5. :func:`run_cycle_jobs` — the cycle-level companion: runs every
    trace-capable job (RED) through the batch engine and persists the
    resulting :class:`CycleStats` under the ``"cycles"`` cache kind.
@@ -97,6 +105,30 @@ class DesignJob:
     tech: TechnologyParams
     fold: int | str | None = None
     layer_name: str = ""
+
+
+class TechTokens:
+    """Small-int value tokens for technology instances.
+
+    ``hash(TechnologyParams)`` walks 30 float fields, so grouping loops
+    never use the instance as a dict key directly: :meth:`token` memoizes
+    the value lookup by object identity, making the common one-tech
+    sweep pay a single tech hash instead of one per job.  Value-equal
+    instances share a token even when they are distinct objects.
+    """
+
+    __slots__ = ("_by_id", "_by_value")
+
+    def __init__(self) -> None:
+        self._by_id: dict[int, int] = {}
+        self._by_value: dict[TechnologyParams, int] = {}
+
+    def token(self, tech: TechnologyParams) -> int:
+        token = self._by_id.get(id(tech))
+        if token is None:
+            token = self._by_value.setdefault(tech, len(self._by_value))
+            self._by_id[id(tech)] = token
+        return token
 
 
 def _canonical_fold(job: DesignJob) -> int | str | None:
@@ -201,14 +233,21 @@ class SweepCache:
         self.misses = 0
         self.stores = 0
 
-    def path_for(self, job: DesignJob, kind: str = METRICS_KIND) -> Path:
-        """Cache file backing a job under one payload kind."""
-        return self.directory / f"{job_key(job, kind)}.pkl"
+    def path_for(
+        self, job: DesignJob, kind: str = METRICS_KIND, *, key: str | None = None
+    ) -> Path:
+        """Cache file backing a job under one payload kind.
 
-    def get(self, job: DesignJob, kind: str = METRICS_KIND):
+        ``key`` short-circuits the SHA-256 walk when the caller already
+        holds the job's :func:`job_key` (it must be the key for this
+        exact ``(job, kind)`` pair).
+        """
+        return self.directory / f"{key or job_key(job, kind)}.pkl"
+
+    def get(self, job: DesignJob, kind: str = METRICS_KIND, *, key: str | None = None):
         """Cached payload for a job, relabelled to the job's layer name."""
         expected = _KIND_PAYLOADS[kind]
-        path = self.path_for(job, kind)
+        path = self.path_for(job, kind, key=key)
         try:
             payload = path.read_bytes()
         except FileNotFoundError:
@@ -228,7 +267,9 @@ class SweepCache:
         self.hits += 1
         return relabelled
 
-    def put(self, job: DesignJob, value, kind: str = METRICS_KIND) -> None:
+    def put(
+        self, job: DesignJob, value, kind: str = METRICS_KIND, *, key: str | None = None
+    ) -> None:
         """Store a result atomically under the job's key."""
         expected = _KIND_PAYLOADS[kind]
         if not isinstance(value, expected):
@@ -236,7 +277,7 @@ class SweepCache:
                 f"cache kind {kind!r} stores {expected.__name__}, "
                 f"got {type(value).__name__}"
             )
-        path = self.path_for(job, kind)
+        path = self.path_for(job, kind, key=key)
         fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
@@ -262,23 +303,33 @@ def run_design_jobs(
     num_workers: int = 1,
     cache: SweepCache | str | os.PathLike | None = None,
     chunk_size: int | None = None,
+    vectorized: bool = True,
 ) -> list[DesignMetrics]:
     """Evaluate every job, in order, optionally cached and in parallel.
 
     Args:
         jobs: the flat work list.
-        num_workers: ``<= 1`` runs inline (no pool, no pickling); larger
-            values fan the cache misses out over a process pool.
+        num_workers: worker-process budget for *scalar-path* misses
+            (``<= 1`` runs them inline — no pool, no pickling); the
+            pool is capped at the number of unique scalar misses so
+            small miss sets never spawn idle workers.  The vectorized
+            plane always runs in-process regardless of this value.
         cache: a :class:`SweepCache`, a directory path, or ``None``.
         chunk_size: jobs per pool task — amortizes pickling overhead.
-            Default (``None``) splits the unique misses evenly over the
+            Default (``None``) splits the scalar misses evenly over the
             workers so small sweeps still use every worker.
+        vectorized: route misses whose design registered a
+            ``perf_batch`` hook through the struct-of-arrays analytic
+            plane (:mod:`repro.eval.vectorized`), batched per
+            (design, tech).  ``False`` forces the scalar per-job path
+            for everything — the bit-identical oracle the plane is
+            property-tested against.
 
     Returns:
         ``DesignMetrics`` in the same order as ``jobs``, independent of
-        worker count and cache state.  Jobs sharing a :func:`job_key`
-        (identical shape/tech, labels aside) are evaluated once and the
-        result fanned out relabelled.
+        route, worker count and cache state.  Jobs sharing a
+        :func:`job_key` (identical shape/tech, labels aside) are
+        evaluated once and the result fanned out relabelled.
     """
     jobs = list(jobs)
     if num_workers < 1:
@@ -288,31 +339,100 @@ def run_design_jobs(
     cache = _coerce_cache(cache)
     results: list[DesignMetrics | None] = [None] * len(jobs)
     pending: list[int] = []
+    pending_keys: dict[int, str] = {}
     for index, job in enumerate(jobs):
         if cache is not None:
-            hit = cache.get(job)
+            # One SHA-256 per miss: the key computed for the hit probe is
+            # reused for grouping and for the eventual cache.put.
+            key = job_key(job)
+            hit = cache.get(job, key=key)
             if hit is not None:
                 results[index] = hit
                 continue
+            pending_keys[index] = key
         pending.append(index)
     if pending:
         # Identical (design, fold, spec, tech) jobs are computed once and
         # fanned out (relabelled per requesting job), cold cache or not.
-        groups: dict[str, list[int]] = {}
-        for index in pending:
-            groups.setdefault(job_key(jobs[index]), []).append(index)
-        unique_jobs = [jobs[indices[0]] for indices in groups.values()]
-        if num_workers == 1 or len(unique_jobs) == 1:
-            computed = [evaluate_design_job(job) for job in unique_jobs]
+        # With a cache attached the grouping key is the on-disk job_key;
+        # without one, an in-memory value tuple over the same canonical
+        # fields avoids the SHA-256 walk on the hot path (the two keys
+        # induce the same partition of the work list).
+        groups: dict[object, list[int]] = {}
+        if cache is not None:
+            for index in pending:
+                groups.setdefault(pending_keys[index], []).append(index)
         else:
-            chunksize = chunk_size or max(1, -(-len(unique_jobs) // num_workers))
-            with ProcessPoolExecutor(max_workers=num_workers) as pool:
-                computed = list(
-                    pool.map(evaluate_design_job, unique_jobs, chunksize=chunksize)
+            # Registry lookups are memoized per design string; the fold
+            # key carries its type so value-equal-but-distinct folds
+            # (2 vs 2.0) partition exactly like job_key's repr does —
+            # an invalid fold must reach its own evaluation and raise
+            # rather than borrow a valid twin's result.
+            tech_tokens = TechTokens()
+            design_info: dict[str, tuple[str, bool]] = {}
+            for index in pending:
+                job = jobs[index]
+                info = design_info.get(job.design)
+                if info is None:
+                    entry = get_design(job.design)
+                    info = (entry.name, entry.accepts_fold)
+                    design_info[job.design] = info
+                canonical, accepts_fold = info
+                fold = (
+                    ("auto" if job.fold is None else job.fold)
+                    if accepts_fold
+                    else None
                 )
-        for indices, job, metrics in zip(groups.values(), unique_jobs, computed):
+                groups.setdefault(
+                    (canonical, fold.__class__, fold, job.spec,
+                     tech_tokens.token(job.tech)),
+                    [],
+                ).append(index)
+        unique_jobs = [jobs[indices[0]] for indices in groups.values()]
+        computed: list[DesignMetrics | None] = [None] * len(unique_jobs)
+        if vectorized:
+            batchable = {
+                name: get_design(name).perf_batch is not None
+                for name in {j.design for j in unique_jobs}
+            }
+            batch_positions = [
+                position
+                for position, job in enumerate(unique_jobs)
+                if batchable[job.design]
+            ]
+        else:
+            batch_positions = []
+        if batch_positions:
+            from repro.eval.vectorized import evaluate_design_jobs_batch
+
+            batched = evaluate_design_jobs_batch(
+                [unique_jobs[position] for position in batch_positions]
+            )
+            for position, metrics in zip(batch_positions, batched):
+                computed[position] = metrics
+        scalar_positions = [
+            position
+            for position in range(len(unique_jobs))
+            if computed[position] is None
+        ]
+        if scalar_positions:
+            scalar_jobs = [unique_jobs[position] for position in scalar_positions]
+            workers = min(num_workers, len(scalar_jobs))
+            if workers == 1:
+                evaluated = [evaluate_design_job(job) for job in scalar_jobs]
+            else:
+                chunksize = chunk_size or max(1, -(-len(scalar_jobs) // workers))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    evaluated = list(
+                        pool.map(evaluate_design_job, scalar_jobs, chunksize=chunksize)
+                    )
+            for position, metrics in zip(scalar_positions, evaluated):
+                computed[position] = metrics
+        for (group_key, indices), job, metrics in zip(
+            groups.items(), unique_jobs, computed
+        ):
             if cache is not None:
-                cache.put(job, metrics)
+                cache.put(job, metrics, key=group_key)
             for index in indices:
                 results[index] = (
                     metrics

@@ -39,18 +39,21 @@ def stride_speedup_sweep(
 
     Delegates to :meth:`repro.api.service.RedService.sweep_points`, the
     single evaluation path: ``jobs`` fans the per-stride evaluations over
-    a process pool and ``cache`` makes repeated sweeps near-free.
+    a process pool and ``cache`` makes repeated sweeps near-free.  The
+    service is scoped to the call (context-managed) so its thread pool
+    and compiled-schedule cache are released before returning.
     """
     from repro.api.service import RedService
 
-    return RedService(num_workers=jobs, cache=cache).sweep_points(
-        strides=tuple(strides),
-        input_size=input_size,
-        channels=channels,
-        filters=filters,
-        tech=tech,
-        fold=fold,
-    )
+    with RedService(num_workers=jobs, cache=cache) as service:
+        return service.sweep_points(
+            strides=tuple(strides),
+            input_size=input_size,
+            channels=channels,
+            filters=filters,
+            tech=tech,
+            fold=fold,
+        )
 
 
 def quadratic_fit_exponent(points: list[StrideSweepPoint]) -> float:

@@ -39,6 +39,20 @@ class TestBuiltins:
         assert not by_name["zero-padding"].accepts_fold
         assert by_name["zero-padding"].baseline
 
+    def test_builtins_register_perf_batch_hooks(self):
+        """Every built-in design ships a vectorized perf-input hook."""
+        from repro.arch.metrics_batch import PerfInputBatch
+        from repro.arch.tech import default_tech
+        from repro.deconv.shapes import DeconvSpec
+
+        spec = DeconvSpec(4, 4, 3, 4, 4, 2, stride=2, padding=1)
+        for entry in design_entries():
+            assert entry.perf_batch is not None
+            batch = entry.perf_batch([spec], ["auto"], default_tech(), ["layer"])
+            assert isinstance(batch, PerfInputBatch)
+            assert batch.layers == ("layer",)
+            assert batch.designs == (entry.name,)
+
     @pytest.mark.parametrize(
         "alias, canonical",
         [

@@ -228,3 +228,20 @@ class TestScheduleCacheLifecycle:
         # CycleStats hold schedule-level observables only, so the
         # execution dtype must not change them.
         assert fast.cycle_stats == exact.cycle_stats
+
+
+class TestVectorizedRouting:
+    def test_vectorized_flag_is_behavior_invisible(self):
+        """ISSUE-4: the service's default vectorized route and the scalar
+        oracle route must produce byte-identical results."""
+        import pickle
+
+        request = EvaluationRequest(spec=SPEC)
+        default = RedService().evaluate(request)
+        scalar = RedService(vectorized=False).evaluate(request)
+        assert pickle.dumps(default.metrics, 5) == pickle.dumps(scalar.metrics, 5)
+
+    def test_sweep_points_match_across_routes(self):
+        fast = RedService().sweep_points(strides=(1, 2, 4))
+        slow = RedService(vectorized=False).sweep_points(strides=(1, 2, 4))
+        assert fast == slow

@@ -3,11 +3,18 @@
 import numpy as np
 import pytest
 
-from repro.core.fold import choose_fold, fold_sct, unfold_sct
+from repro.core.fold import (
+    choose_fold,
+    choose_fold_batch,
+    fold_sct,
+    resolve_fold,
+    resolve_fold_batch,
+    unfold_sct,
+)
 from repro.core.mapping import build_sct
 from repro.deconv.shapes import DeconvSpec
-from repro.errors import MappingError
-from tests.conftest import random_operands
+from repro.errors import MappingError, ParameterError
+from tests.conftest import SMALL_SPECS, random_operands
 
 
 class TestChooseFold:
@@ -27,6 +34,35 @@ class TestChooseFold:
     def test_fold_power_of_two(self, small_spec):
         fold = choose_fold(small_spec, max_sub_crossbars=3)
         assert fold & (fold - 1) == 0
+
+
+class TestBatchFoldResolution:
+    @pytest.mark.parametrize("budget", (2, 32, 128))
+    def test_choose_fold_batch_matches_scalar(self, budget):
+        taps = np.array([spec.num_kernel_taps for spec in SMALL_SPECS])
+        batch = choose_fold_batch(taps, max_sub_crossbars=budget)
+        expected = [choose_fold(spec, max_sub_crossbars=budget) for spec in SMALL_SPECS]
+        assert batch.tolist() == expected
+
+    def test_resolve_fold_batch_mixed_auto_and_explicit(self):
+        spec = DeconvSpec(70, 70, 21, 16, 16, 21, stride=8, padding=0)
+        taps = np.array([spec.num_kernel_taps] * 3)
+        batch = resolve_fold_batch(taps, ["auto", 4, 1], max_sub_crossbars=128)
+        assert batch.tolist() == [
+            resolve_fold(spec, "auto", 128),
+            resolve_fold(spec, 4, 128),
+            resolve_fold(spec, 1, 128),
+        ]
+
+    def test_resolve_fold_batch_rejects_invalid_entries(self):
+        taps = np.array([16])
+        for bad in (0, -1, 2.5, "half"):
+            with pytest.raises(ParameterError):
+                resolve_fold_batch(taps, [bad])
+
+    def test_resolve_fold_batch_rejects_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            resolve_fold_batch(np.array([16, 25]), ["auto"])
 
 
 class TestFoldGeometry:

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.deconv.analysis import (
     dense_mac_count,
@@ -11,8 +12,9 @@ from repro.deconv.analysis import (
     redundancy_vs_stride,
     redundant_mac_fraction,
     useful_mac_count,
+    useful_mac_count_batch,
 )
-from repro.deconv.shapes import DeconvSpec
+from repro.deconv.shapes import DeconvSpec, SpecArrays
 from repro.errors import ParameterError
 from tests.conftest import deconv_specs
 
@@ -69,6 +71,29 @@ class TestMacCounts:
             * spec.out_channels
         )
         assert useful_mac_count(spec) <= ceiling
+
+    def test_batch_count_matches_scalar_over_the_zoo(self):
+        from tests.conftest import SMALL_SPECS
+
+        arrays = SpecArrays.from_specs(SMALL_SPECS)
+        batch = useful_mac_count_batch(arrays)
+        assert batch.tolist() == [useful_mac_count(s) for s in SMALL_SPECS]
+
+    @given(st.lists(deconv_specs(max_input=6, max_kernel=7, max_stride=5),
+                    min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_batch_count_matches_scalar_property(self, specs):
+        batch = useful_mac_count_batch(SpecArrays.from_specs(specs))
+        assert batch.tolist() == [useful_mac_count(s) for s in specs]
+
+    def test_batch_count_empty_input(self):
+        assert useful_mac_count_batch(SpecArrays.from_specs([])).tolist() == []
+
+    def test_batch_count_fcn_scale(self):
+        """Closed-form interval arithmetic at FCN-32s scale (no loops)."""
+        spec = DeconvSpec(16, 16, 21, 64, 64, 21, stride=32, padding=16)
+        batch = useful_mac_count_batch(SpecArrays.from_specs([spec]))
+        assert batch.tolist() == [useful_mac_count(spec)]
 
     def test_redundancy_between_zero_and_one(self, small_spec):
         assert 0.0 <= redundant_mac_fraction(small_spec) < 1.0

@@ -8,6 +8,7 @@ from repro.deconv.modes import (
     decompose_modes,
     max_taps_per_mode,
     mode_of_tap,
+    num_nonempty_modes,
 )
 from repro.deconv.shapes import DeconvSpec
 from repro.errors import ShapeError
@@ -38,6 +39,22 @@ class TestModeCount:
         assert len(modes) == 64
         assert all(mode.num_taps == 4 for mode in modes)
         assert max_taps_per_mode(spec) == 4
+
+
+class TestNonemptyModeCount:
+    def test_closed_form_matches_decomposition(self, small_spec):
+        expected = sum(1 for mode in decompose_modes(small_spec) if mode.taps)
+        assert num_nonempty_modes(small_spec) == expected
+
+    @given(deconv_specs(max_input=4, max_kernel=8, max_stride=6))
+    @settings(max_examples=60, deadline=None)
+    def test_closed_form_matches_decomposition_property(self, spec):
+        expected = sum(1 for mode in decompose_modes(spec) if mode.taps)
+        assert num_nonempty_modes(spec) == expected
+
+    def test_kernel_smaller_than_stride_leaves_empty_modes(self):
+        spec = DeconvSpec(3, 3, 2, 2, 2, 2, stride=4, padding=0)
+        assert num_nonempty_modes(spec) == 4  # of stride^2 = 16 modes
 
 
 class TestPartition:

@@ -49,3 +49,17 @@ class TestStrideSweep:
         single = stride_speedup_sweep(strides=(2,))
         with pytest.raises(ParameterError):
             quadratic_fit_exponent(single)
+
+    def test_sweep_closes_its_service(self, monkeypatch):
+        """The sweep must release the RedService it creates (ISSUE-4):
+        a leaked service keeps its thread pool and the process-wide
+        compiled-schedule cache alive."""
+        from repro.api.service import RedService
+
+        closes = []
+        original = RedService.close
+        monkeypatch.setattr(
+            RedService, "close", lambda self: (closes.append(self), original(self))
+        )
+        stride_speedup_sweep(strides=(2,))
+        assert len(closes) == 1
