@@ -20,8 +20,10 @@ the library-level helpers :meth:`~RedService.grid`,
 :func:`repro.system.network_mapper.evaluate_network` delegate to —
 flattens the work into :class:`~repro.eval.parallel.DesignJob` entries
 and routes them through :func:`~repro.eval.parallel.run_design_jobs`,
-the single evaluation substrate (process pool + on-disk
-:class:`~repro.eval.parallel.SweepCache`).  ``trace=True`` requests
+the single evaluation substrate (vectorized plane / process pool +
+batched on-disk :class:`~repro.eval.store.PackedSweepStore`; the
+legacy :class:`~repro.eval.parallel.SweepCache` is still accepted as a
+ready-made store).  ``trace=True`` requests
 additionally run :func:`~repro.eval.parallel.run_cycle_jobs`, whose
 cycle-level :class:`~repro.eval.parallel.CycleStats` persist in the
 same cache under the ``"cycles"`` kind.
@@ -58,9 +60,11 @@ from repro.errors import ParameterError, SchemaError
 from repro.eval.parallel import (
     DesignJob,
     SweepCache,
+    _coerce_cache,
     run_cycle_jobs,
     run_design_jobs,
 )
+from repro.eval.store import PackedSweepStore
 
 
 class RedService:
@@ -68,7 +72,10 @@ class RedService:
 
     Args:
         num_workers: process-pool width for cache misses (1 = inline).
-        cache: a :class:`SweepCache`, a cache directory path, or ``None``.
+        cache: a :class:`~repro.eval.store.PackedSweepStore`, a legacy
+            :class:`SweepCache`, a cache directory path (constructs the
+            packed store, migrating legacy directory-of-pickles
+            content), or ``None``.
         tech: base technology the per-request overrides apply to
             (default: :func:`default_tech`).
         service_threads: thread-pool width for :meth:`submit`.
@@ -87,7 +94,7 @@ class RedService:
     def __init__(
         self,
         num_workers: int = 1,
-        cache: SweepCache | str | os.PathLike | None = None,
+        cache: SweepCache | PackedSweepStore | str | os.PathLike | None = None,
         tech: TechnologyParams | None = None,
         service_threads: int = 4,
         max_sub_crossbars: int = 128,
@@ -99,7 +106,13 @@ class RedService:
         if service_threads < 1:
             raise ParameterError(f"service_threads must be >= 1, got {service_threads}")
         self.num_workers = num_workers
-        self.cache = cache
+        # Coerce once: a path builds one PackedSweepStore for the
+        # service's whole lifetime, so every request shares its offset
+        # index, mmaps and in-memory LRU hit tier (re-coercing per call
+        # would reopen the store and defeat the memory tier).  A store
+        # the service constructed itself is owned — close() releases it.
+        self.cache = _coerce_cache(cache)
+        self._owns_cache = self.cache is not None and self.cache is not cache
         self.tech = tech
         self.service_threads = service_threads
         self.max_sub_crossbars = max_sub_crossbars
@@ -266,7 +279,10 @@ class RedService:
         A long-lived service that traced many distinct large layer
         shapes holds their compiled-schedule index arrays in the
         process-wide LRU (:func:`repro.sim.compiler.schedule_cache_info`);
-        closing the service returns that memory.
+        closing the service returns that memory.  A cache store the
+        service constructed from a path is owned and closed too (its
+        mmaps and LRU tier are released; caller-provided stores are the
+        caller's to close).
         """
         from repro.sim.compiler import clear_compiled_schedules
 
@@ -274,6 +290,8 @@ class RedService:
             executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=True)
+        if self._owns_cache:
+            self.cache.close()
         clear_compiled_schedules()
 
     def __enter__(self) -> "RedService":

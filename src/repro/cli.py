@@ -264,7 +264,11 @@ def main(argv: list[str] | None = None) -> int:
             )
             cmd.add_argument(
                 "--cache", default=None,
-                help="on-disk sweep result cache directory",
+                help=(
+                    "sweep result store directory (packed segment/index "
+                    "layout; legacy per-pickle directories are migrated "
+                    "in place)"
+                ),
             )
     args = parser.parse_args(argv)
 

@@ -40,6 +40,10 @@ class RegistryError(ReproError):
     """The design registry was used inconsistently."""
 
 
+class CacheError(ReproError):
+    """A sweep result store was driven with malformed keys or state."""
+
+
 class DuplicateDesignError(RegistryError, ValueError):
     """A design name or alias is already registered."""
 

@@ -17,6 +17,7 @@ from repro.arch.breakdown import DesignMetrics
 from repro.arch.tech import TechnologyParams, default_tech
 from repro.designs.base import DeconvDesign
 from repro.eval.parallel import SweepCache
+from repro.eval.store import PackedSweepStore
 from repro.workloads.specs import BenchmarkLayer
 
 #: Presentation order used in every figure (baseline first).  A snapshot
@@ -75,7 +76,7 @@ def run_grid(
     layers: tuple[BenchmarkLayer, ...] | None = None,
     tech: TechnologyParams | None = None,
     jobs: int = 1,
-    cache: SweepCache | str | os.PathLike | None = None,
+    cache: SweepCache | PackedSweepStore | str | os.PathLike | None = None,
 ) -> EvaluationGrid:
     """Evaluate all registered designs over ``layers`` (default: Table I).
 
@@ -83,7 +84,9 @@ def run_grid(
     evaluation path: the grid is flattened into
     :class:`~repro.eval.parallel.DesignJob` entries and routed through
     :func:`~repro.eval.parallel.run_design_jobs`, so ``jobs`` parallelizes
-    the evaluation and ``cache`` persists it across runs.
+    the evaluation and ``cache`` persists it across runs (a directory
+    path constructs the batched
+    :class:`~repro.eval.store.PackedSweepStore`).
     """
     from repro.api.service import RedService
 

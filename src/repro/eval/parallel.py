@@ -16,34 +16,50 @@ execution substrate for that list:
    run its analytical model, return the :class:`DesignMetrics`.  It is a
    module-level function so :class:`concurrent.futures.ProcessPoolExecutor`
    can pickle it.
-3. :class:`SweepCache` — an on-disk result store keyed by
-   :func:`job_key`, a SHA-256 over the canonical field-by-field
-   representation of ``(design, fold, spec, tech)`` plus a schema
-   version and a payload *kind*.  Changing *any* field of the spec or of
+3. :func:`job_key` / :func:`job_keys` — the cache keying layer: a
+   SHA-256 over the canonical field-by-field representation of
+   ``(design, fold, spec, tech)`` plus a schema version and a payload
+   *kind*.  Changing *any* field of the spec or of
    :class:`~repro.arch.tech.TechnologyParams` changes the key, so stale
    results can never be served after a calibration tweak
-   (``tests/eval/test_sweep_cache.py``).  Writes are atomic
-   (temp file + ``os.replace``) so concurrent workers can share one
-   cache directory.  Two kinds live side by side: ``"metrics"``
-   (analytic :class:`DesignMetrics`) and ``"cycles"``
-   (:class:`CycleStats` measured by the cycle-level
-   :class:`~repro.sim.batch.BatchEngine`).
-4. :func:`run_design_jobs` — the sweep runner.  Cache hits are resolved
-   first; the misses are deduped and, by default, evaluated in-process
-   through the vectorized analytic plane
+   (``tests/eval/test_sweep_cache.py``).  :func:`job_keys` computes the
+   keys for a whole work list in one batched pass — the design/fold
+   head and the technology segment are memoized by identity+value (a
+   sweep has thousands of jobs but a handful of techs), the spec
+   segments are built struct-of-arrays from
+   :class:`~repro.deconv.shapes.SpecArrays`, and only the final
+   concatenated bytes are hashed per job.  It is property-tested equal
+   to the scalar :func:`job_key` (``tests/eval/test_store.py``).
+4. Stores.  The default on-disk tier is the
+   :class:`~repro.eval.store.PackedSweepStore` — sharded append-only
+   segment files, a compact mmap-read offset index published atomically
+   once per batch, and a bounded in-memory LRU hit tier (see
+   :mod:`repro.eval.store`).  :class:`SweepCache` remains as the
+   compatibility shim over the original directory-of-pickles layout
+   (one atomic ``os.replace`` per entry); the packed store migrates
+   that layout in place.  Both speak the same batch protocol
+   (``get_many(keys, kind)`` / ``put_many(entries, kind)``) and hold
+   two kinds side by side: ``"metrics"`` (analytic
+   :class:`DesignMetrics`) and ``"cycles"`` (:class:`CycleStats`
+   measured by the cycle-level :class:`~repro.sim.batch.BatchEngine`).
+5. :func:`run_design_jobs` — the sweep runner.  Cache hits are
+   resolved first through one batched probe (no per-job cache calls on
+   the hot loop); the misses are deduped and, by default, evaluated
+   in-process through the vectorized analytic plane
    (:mod:`repro.eval.vectorized`): one struct-of-arrays batch per
    (design, tech) group, no per-job design objects.  Designs without a
    registered ``perf_batch`` hook — and every run with
    ``vectorized=False`` — take the scalar per-job path instead, inline
    (``num_workers <= 1``) or on a process pool capped at the unique
-   miss count, in deterministic chunks.  Results always come back in
-   job order, byte-identical regardless of route, worker count or
-   cache temperature
-   (``tests/properties/test_parallel_determinism.py``,
+   miss count, in deterministic chunks.  New results are published
+   back in one ``put_many`` batch.  Results always come back in job
+   order, byte-identical regardless of route, worker count or cache
+   temperature (``tests/properties/test_parallel_determinism.py``,
    ``tests/eval/test_vectorized.py``).
-5. :func:`run_cycle_jobs` — the cycle-level companion: runs every
+6. :func:`run_cycle_jobs` — the cycle-level companion: runs every
    trace-capable job (RED) through the batch engine and persists the
-   resulting :class:`CycleStats` under the ``"cycles"`` cache kind.
+   resulting :class:`CycleStats` under the ``"cycles"`` cache kind,
+   with the same batched probe/publish discipline.
 
 Design names are resolved through :mod:`repro.api.registry` — this
 module contains no hard-coded design dispatch.
@@ -67,17 +83,22 @@ import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, fields, replace
 from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.api.registry import get_design, resolve_design
 from repro.api.registry import build_design as _registry_build_design
 from repro.arch.breakdown import DesignMetrics
 from repro.arch.tech import TechnologyParams
-from repro.deconv.shapes import DeconvSpec
+from repro.deconv.shapes import DeconvSpec, SpecArrays
 from repro.designs.base import DeconvDesign
 from repro.errors import ParameterError
 
+if TYPE_CHECKING:  # pragma: no cover - typing only (import cycle guard)
+    from repro.eval.store import PackedSweepStore
+
 #: Bump when the cached payload or key layout changes shape.
-CACHE_SCHEMA_VERSION = 2
+#: 3: packed segment/index store became the default on-disk layout.
+CACHE_SCHEMA_VERSION = 3
 
 #: Cache namespaces: analytic metrics vs cycle-level measurements.
 METRICS_KIND = "metrics"
@@ -195,6 +216,114 @@ def job_key(job: DesignJob, kind: str = METRICS_KIND) -> str:
     return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
 
 
+def _spec_key_segments(specs: Sequence[DeconvSpec]) -> list[str]:
+    """Per-spec key segments, built struct-of-arrays in one pass.
+
+    Equivalent to the ``type name + field=value`` walk :func:`job_key`
+    performs per spec, but columnar: the unique specs are packed into a
+    :class:`~repro.deconv.shapes.SpecArrays` once and each segment is a
+    single ``%``-format over the row.  (``repr(int) == '%d' % int``, and
+    every :class:`DeconvSpec` field is a validated Python int.)
+    """
+    if not specs:
+        return []
+    names = [f.name for f in fields(DeconvSpec)]
+    template = "|".join(f"{name}=%d" for name in names)
+    exact = [index for index, spec in enumerate(specs) if type(spec) is DeconvSpec]
+    segments: list[str] = [""] * len(specs)
+    if exact:
+        arrays = SpecArrays.from_specs([specs[index] for index in exact])
+        columns = [getattr(arrays, name).tolist() for name in names]
+        for index, row in zip(exact, zip(*columns)):
+            segments[index] = f"DeconvSpec|{template % row}|"
+    for index, spec in enumerate(specs):
+        if type(spec) is not DeconvSpec:  # subclass: fall back to the walk
+            walked = "|".join(
+                f"{f.name}={getattr(spec, f.name)!r}" for f in fields(spec)
+            )
+            segments[index] = f"{type(spec).__name__}|{walked}|"
+    return segments
+
+
+def job_keys(
+    jobs: Sequence[DesignJob], kind: str = METRICS_KIND
+) -> list[str]:
+    """All cache keys of a work list in one batched pass.
+
+    Bit-for-bit equal to ``[job_key(job, kind) for job in jobs]``
+    (property-tested in ``tests/eval/test_store.py``) but engineered for
+    the warm hot path: a sweep has thousands of jobs over a handful of
+    designs, folds and technology instances, so the
+    ``schema|kind|design|fold`` head and the 30-field technology
+    segment are memoized by identity+value, the spec segments are built
+    struct-of-arrays via :class:`~repro.deconv.shapes.SpecArrays`, and
+    the per-job work reduces to one string concatenation plus one
+    SHA-256 over the final bytes.
+    """
+    if not jobs:
+        return []
+    prefix = f"schema={CACHE_SCHEMA_VERSION}|kind={kind}|design="
+    design_info: dict[str, tuple[str, bool]] = {}
+    head_cache: dict[tuple[str, type, object], str] = {}
+    spec_by_id: dict[int, int] = {}
+    spec_slots: dict[DeconvSpec, int] = {}
+    unique_specs: list[DeconvSpec] = []
+    tech_by_id: dict[int, str] = {}
+    tech_by_value: dict[TechnologyParams, str] = {}
+    heads: list[str] = []
+    slots: list[int] = []
+    tech_segments: list[str] = []
+    for job in jobs:
+        info = design_info.get(job.design)
+        if info is None:
+            entry = get_design(job.design)
+            info = design_info[job.design] = (entry.name, entry.accepts_fold)
+        canonical, accepts_fold = info
+        fold = (
+            ("auto" if job.fold is None else job.fold) if accepts_fold else None
+        )
+        # The fold's type rides in the memo key so value-equal-but-
+        # distinct folds (2 vs 2.0) keep the distinct reprs job_key has.
+        head_token = (canonical, fold.__class__, fold)
+        head = head_cache.get(head_token)
+        if head is None:
+            head = head_cache[head_token] = f"{prefix}{canonical}|fold={fold!r}|"
+        heads.append(head)
+
+        spec = job.spec
+        slot = spec_by_id.get(id(spec))
+        if slot is None:
+            slot = spec_slots.get(spec)
+            if slot is None:
+                slot = spec_slots[spec] = len(unique_specs)
+                unique_specs.append(spec)
+            spec_by_id[id(spec)] = slot
+        slots.append(slot)
+
+        tech = job.tech
+        segment = tech_by_id.get(id(tech))
+        if segment is None:
+            segment = tech_by_value.get(tech)
+            if segment is None:
+                segment = tech_by_value[tech] = "|".join(
+                    (
+                        type(tech).__name__,
+                        *(
+                            f"{f.name}={getattr(tech, f.name)!r}"
+                            for f in fields(tech)
+                        ),
+                    )
+                )
+            tech_by_id[id(tech)] = segment
+        tech_segments.append(segment)
+    spec_segments = _spec_key_segments(unique_specs)
+    sha256 = hashlib.sha256
+    return [
+        sha256((head + spec_segments[slot] + tech).encode("utf-8")).hexdigest()
+        for head, slot, tech in zip(heads, slots, tech_segments)
+    ]
+
+
 def build_design_for_job(job: DesignJob) -> DeconvDesign:
     """Instantiate the accelerator design a job describes.
 
@@ -215,15 +344,50 @@ _KIND_PAYLOADS: dict[str, type] = {
     CYCLES_KIND: CycleStats,
 }
 
+#: What ``pickle.loads`` of a truncated/corrupt/shape-skewed entry can
+#: raise.  Deliberately narrower than ``Exception`` so programming
+#: errors (NameError, ParameterError, ...) surface instead of being
+#: silently counted as cache misses.
+_DECODE_ERRORS = (
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ImportError,
+    IndexError,
+    KeyError,
+    ValueError,
+    TypeError,
+    UnicodeDecodeError,
+    MemoryError,
+)
+
+
+def relabelled(value, layer_name: str):
+    """``value`` carrying ``layer_name``, skipping the no-op replace.
+
+    Cache hits whose stored label already equals the requesting job's
+    label are returned as-is — ``dataclasses.replace`` re-runs the
+    frozen dataclass constructor and is pure overhead on the warm path.
+    """
+    if value.layer == layer_name:
+        return value
+    return replace(value, layer=layer_name)
+
 
 class SweepCache:
     """On-disk result store, one pickle per ``(job key, kind)``.
 
-    Holds analytic :class:`DesignMetrics` (``kind="metrics"``, the
-    default) and cycle-level :class:`CycleStats` (``kind="cycles"``)
-    side by side in one directory.  Safe for concurrent writers (atomic
-    replace); tracks hit/miss/store statistics for tests and benchmark
-    reporting.
+    This is the original (pre-packed-store) layout, kept as a
+    compatibility shim: the default path-to-store coercion now builds a
+    :class:`~repro.eval.store.PackedSweepStore`, which reads/migrates
+    directories written in this format in place.  Holds analytic
+    :class:`DesignMetrics` (``kind="metrics"``, the default) and
+    cycle-level :class:`CycleStats` (``kind="cycles"``) side by side in
+    one directory.  Safe for concurrent writers (atomic replace);
+    tracks hit/miss/store/corrupt statistics for tests and benchmark
+    reporting, and speaks the same batch protocol
+    (:meth:`get_many`/:meth:`put_many`) as the packed store so
+    :func:`run_design_jobs` never issues per-job cache calls.
     """
 
     def __init__(self, directory: str | os.PathLike) -> None:
@@ -232,6 +396,7 @@ class SweepCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
 
     def path_for(
         self, job: DesignJob, kind: str = METRICS_KIND, *, key: str | None = None
@@ -244,40 +409,81 @@ class SweepCache:
         """
         return self.directory / f"{key or job_key(job, kind)}.pkl"
 
+    def get_many(self, keys: Sequence[str], kind: str = METRICS_KIND) -> list:
+        """Stored payloads per key, in key order (``None`` per miss).
+
+        Payloads come back exactly as stored — relabelling to the
+        requesting job is the caller's concern (:func:`relabelled`).  A
+        truncated, corrupt, or shape-skewed entry (e.g. pickled before
+        a payload field change) counts as a miss, increments
+        :attr:`corrupt` and is unlinked so the slot is rewritten with
+        the current schema.
+        """
+        expected = _KIND_PAYLOADS[kind]
+        results: list = [None] * len(keys)
+        for index, key in enumerate(keys):
+            path = self.directory / f"{key}.pkl"
+            try:
+                payload = path.read_bytes()
+            except FileNotFoundError:
+                self.misses += 1
+                continue
+            try:
+                value = pickle.loads(payload)
+            except _DECODE_ERRORS:
+                self._discard_corrupt(path)
+                continue
+            if not isinstance(value, expected):
+                self._discard_corrupt(path)
+                continue
+            self.hits += 1
+            results[index] = value
+        return results
+
+    def put_many(
+        self, entries: Iterable[tuple[str, object]], kind: str = METRICS_KIND
+    ) -> int:
+        """Store ``(key, payload)`` pairs; returns the number written.
+
+        Each entry is still one atomic ``os.replace`` in this legacy
+        layout — the packed store is the one-publish-per-batch tier.
+        """
+        count = 0
+        for key, value in entries:
+            self._write(key, value, kind)
+            count += 1
+        return count
+
     def get(self, job: DesignJob, kind: str = METRICS_KIND, *, key: str | None = None):
         """Cached payload for a job, relabelled to the job's layer name."""
-        expected = _KIND_PAYLOADS[kind]
-        path = self.path_for(job, kind, key=key)
-        try:
-            payload = path.read_bytes()
-        except FileNotFoundError:
-            self.misses += 1
+        value = self.get_many([key or job_key(job, kind)], kind)[0]
+        if value is None:
             return None
-        try:
-            value = pickle.loads(payload)
-            if not isinstance(value, expected):
-                raise TypeError(f"unexpected cache payload {type(value)}")
-            relabelled = replace(value, layer=job.layer_name)
-        except Exception:
-            # A truncated, corrupt, or shape-skewed entry (e.g. pickled
-            # before a payload field change) is a miss; it will be
-            # rewritten with the current schema.
-            self.misses += 1
-            return None
-        self.hits += 1
-        return relabelled
+        return relabelled(value, job.layer_name)
 
     def put(
         self, job: DesignJob, value, kind: str = METRICS_KIND, *, key: str | None = None
     ) -> None:
         """Store a result atomically under the job's key."""
+        self._write(key or job_key(job, kind), value, kind)
+
+    def _discard_corrupt(self, path: Path) -> None:
+        """Count a bad entry and unlink it so the slot gets rewritten."""
+        self.corrupt += 1
+        self.misses += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def _write(self, key: str, value, kind: str) -> None:
         expected = _KIND_PAYLOADS[kind]
         if not isinstance(value, expected):
             raise TypeError(
                 f"cache kind {kind!r} stores {expected.__name__}, "
                 f"got {type(value).__name__}"
             )
-        path = self.path_for(job, kind, key=key)
+        path = self.directory / f"{key}.pkl"
         fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
@@ -292,16 +498,30 @@ class SweepCache:
         self.stores += 1
 
 
-def _coerce_cache(cache: SweepCache | str | os.PathLike | None) -> SweepCache | None:
-    if cache is None or isinstance(cache, SweepCache):
+def _coerce_cache(
+    cache: "SweepCache | PackedSweepStore | str | os.PathLike | None",
+):
+    """Any accepted ``cache`` argument as a batch-protocol store.
+
+    ``None`` and ready-made stores (anything speaking
+    ``get_many``/``put_many`` — :class:`SweepCache`,
+    :class:`~repro.eval.store.PackedSweepStore`, test doubles) pass
+    through; a directory path constructs the packed store, migrating
+    any legacy directory-of-pickles content it finds there.
+    """
+    if cache is None:
+        return None
+    if hasattr(cache, "get_many") and hasattr(cache, "put_many"):
         return cache
-    return SweepCache(os.path.expanduser(os.fspath(cache)))
+    from repro.eval.store import PackedSweepStore
+
+    return PackedSweepStore(os.path.expanduser(os.fspath(cache)))
 
 
 def run_design_jobs(
     jobs: list[DesignJob] | tuple[DesignJob, ...],
     num_workers: int = 1,
-    cache: SweepCache | str | os.PathLike | None = None,
+    cache: "SweepCache | PackedSweepStore | str | os.PathLike | None" = None,
     chunk_size: int | None = None,
     vectorized: bool = True,
 ) -> list[DesignMetrics]:
@@ -314,7 +534,9 @@ def run_design_jobs(
             pool is capped at the number of unique scalar misses so
             small miss sets never spawn idle workers.  The vectorized
             plane always runs in-process regardless of this value.
-        cache: a :class:`SweepCache`, a directory path, or ``None``.
+        cache: a :class:`~repro.eval.store.PackedSweepStore`, a legacy
+            :class:`SweepCache`, a directory path (constructs the
+            packed store, migrating legacy content), or ``None``.
         chunk_size: jobs per pool task — amortizes pickling overhead.
             Default (``None``) splits the scalar misses evenly over the
             workers so small sweeps still use every worker.
@@ -329,7 +551,10 @@ def run_design_jobs(
         ``DesignMetrics`` in the same order as ``jobs``, independent of
         route, worker count and cache state.  Jobs sharing a
         :func:`job_key` (identical shape/tech, labels aside) are
-        evaluated once and the result fanned out relabelled.
+        evaluated once and the result fanned out relabelled.  The cache
+        is touched exactly twice per call — one batched probe
+        (:func:`job_keys` + ``get_many``) and one batched publish
+        (``put_many``) — never per job.
     """
     jobs = list(jobs)
     if num_workers < 1:
@@ -340,17 +565,20 @@ def run_design_jobs(
     results: list[DesignMetrics | None] = [None] * len(jobs)
     pending: list[int] = []
     pending_keys: dict[int, str] = {}
-    for index, job in enumerate(jobs):
-        if cache is not None:
-            # One SHA-256 per miss: the key computed for the hit probe is
-            # reused for grouping and for the eventual cache.put.
-            key = job_key(job)
-            hit = cache.get(job, key=key)
-            if hit is not None:
-                results[index] = hit
-                continue
-            pending_keys[index] = key
-        pending.append(index)
+    if cache is not None:
+        # One batched probe: every key in one job_keys pass (memoized
+        # head/tech segments, struct-of-arrays specs), every lookup in
+        # one get_many.  Miss keys are reused for grouping and for the
+        # batched publish below.
+        keys = job_keys(jobs)
+        for index, value in enumerate(cache.get_many(keys)):
+            if value is None:
+                pending_keys[index] = keys[index]
+                pending.append(index)
+            else:
+                results[index] = relabelled(value, jobs[index].layer_name)
+    else:
+        pending = list(range(len(jobs)))
     if pending:
         # Identical (design, fold, spec, tech) jobs are computed once and
         # fanned out (relabelled per requesting job), cold cache or not.
@@ -428,23 +656,24 @@ def run_design_jobs(
                     )
             for position, metrics in zip(scalar_positions, evaluated):
                 computed[position] = metrics
-        for (group_key, indices), job, metrics in zip(
-            groups.items(), unique_jobs, computed
-        ):
-            if cache is not None:
-                cache.put(job, metrics, key=group_key)
+        if cache is not None:
+            # One batched publish: a single put_many (one atomic index
+            # publish on the packed store) instead of one write per job.
+            cache.put_many(
+                [
+                    (group_key, metrics)
+                    for group_key, metrics in zip(groups, computed)
+                ]
+            )
+        for indices, metrics in zip(groups.values(), computed):
             for index in indices:
-                results[index] = (
-                    metrics
-                    if jobs[index].layer_name == job.layer_name
-                    else replace(metrics, layer=jobs[index].layer_name)
-                )
+                results[index] = relabelled(metrics, jobs[index].layer_name)
     return results  # type: ignore[return-value]
 
 
 def run_cycle_jobs(
     jobs: list[DesignJob] | tuple[DesignJob, ...],
-    cache: SweepCache | str | os.PathLike | None = None,
+    cache: "SweepCache | PackedSweepStore | str | os.PathLike | None" = None,
     max_sub_crossbars: int = 128,
     dtype: str = "float64",
 ) -> list[CycleStats | None]:
@@ -458,29 +687,47 @@ def run_cycle_jobs(
     a single analytically compiled schedule — and ``dtype="float32"``
     opts throughput-bound sweeps into single-precision execution (the
     persisted :class:`CycleStats` are operand-independent either way).
-    Results are persisted in the same :class:`SweepCache` as the
-    analytic metrics, under the ``"cycles"`` kind, so repeated traced
-    evaluations are near-free.
+    Results persist in the same store as the analytic metrics, under
+    the ``"cycles"`` kind, so repeated traced evaluations are
+    near-free.  Like :func:`run_design_jobs`, the store is touched
+    once to probe and once to publish — each job's key is computed
+    exactly once (:func:`job_keys`) and threaded from the probe through
+    grouping to the publish.
     """
     jobs = list(jobs)
     cache = _coerce_cache(cache)
     results: list[CycleStats | None] = [None] * len(jobs)
+    traceable = [
+        index
+        for index, job in enumerate(jobs)
+        if get_design(job.design).supports_trace
+    ]
+    keys: dict[int, str] = {}
+    if traceable:
+        keys = dict(
+            zip(
+                traceable,
+                job_keys([jobs[index] for index in traceable], kind=CYCLES_KIND),
+            )
+        )
     pending: list[int] = []
-    for index, job in enumerate(jobs):
-        if not get_design(job.design).supports_trace:
-            continue
-        if cache is not None:
-            hit = cache.get(job, kind=CYCLES_KIND)
-            if hit is not None:
-                results[index] = hit
-                continue
-        pending.append(index)
+    if cache is not None and traceable:
+        values = cache.get_many(
+            [keys[index] for index in traceable], kind=CYCLES_KIND
+        )
+        for index, value in zip(traceable, values):
+            if value is None:
+                pending.append(index)
+            else:
+                results[index] = relabelled(value, jobs[index].layer_name)
+    else:
+        pending = traceable
     if pending:
         from repro.sim.batch import BatchEngine, BatchJob
 
         groups: dict[str, list[int]] = {}
         for index in pending:
-            groups.setdefault(job_key(jobs[index], CYCLES_KIND), []).append(index)
+            groups.setdefault(keys[index], []).append(index)
         unique_jobs = [jobs[indices[0]] for indices in groups.values()]
         engine = BatchEngine(max_sub_crossbars=max_sub_crossbars, dtype=dtype)
         batch = engine.run(
@@ -493,20 +740,25 @@ def run_cycle_jobs(
                 for job in unique_jobs
             ]
         )
-        for indices, job, job_result in zip(groups.values(), unique_jobs, batch.results):
-            stats = CycleStats(
+        computed = [
+            CycleStats(
                 design=resolve_design(job.design),
                 layer=job.layer_name,
                 fold=job_result.fold,
                 cycles=job_result.cycles,
                 counters=tuple(sorted(job_result.counters.items())),
             )
-            if cache is not None:
-                cache.put(job, stats, kind=CYCLES_KIND)
+            for job, job_result in zip(unique_jobs, batch.results)
+        ]
+        if cache is not None:
+            cache.put_many(
+                [
+                    (group_key, stats)
+                    for group_key, stats in zip(groups, computed)
+                ],
+                kind=CYCLES_KIND,
+            )
+        for indices, stats in zip(groups.values(), computed):
             for index in indices:
-                results[index] = (
-                    stats
-                    if jobs[index].layer_name == stats.layer
-                    else replace(stats, layer=jobs[index].layer_name)
-                )
+                results[index] = relabelled(stats, jobs[index].layer_name)
     return results

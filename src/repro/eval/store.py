@@ -1,0 +1,627 @@
+"""Packed sweep store: segment files, offset index, in-memory hit tier.
+
+Why the cache needed its own engineering pass
+---------------------------------------------
+Once the cold analytic plane went vectorized (PR 4, ~tens of thousands
+of jobs per second), the original directory-of-pickles
+:class:`~repro.eval.parallel.SweepCache` became the warm-path
+bottleneck: every hit paid one ``open``/``read`` syscall pair, one
+``pickle.loads`` and one dataclass relabel, and every store paid one
+``os.replace``.  This module is the storage tier rebuilt for batch
+traffic:
+
+- **Sharded append-only segments.**  ``put_many`` groups its entries by
+  key shard and appends each shard's records to one new immutable
+  segment file (``seg-<shard>-<unique>.seg``).  Records are
+  self-describing (raw 32-byte key + payload length + pickled payload),
+  so segments double as a recovery log.
+- **Compact offset index, one atomic publish per batch.**  A single
+  ``index.bin`` file maps every key to ``(segment, offset, length)``:
+  a magic line, a JSON manifest naming the segment files, then fixed
+  48-byte binary rows.  A batch of writes becomes *one* temp-file +
+  ``os.replace`` publish, not one per entry.  Writers serialize the
+  read-merge-publish step through an advisory ``flock`` so concurrent
+  processes can share a store directory without losing entries
+  (``tests/eval/test_store.py``); readers never lock — ``os.replace``
+  gives them a consistent snapshot, and a stale in-memory index is
+  refreshed (one ``stat``) whenever a lookup misses.
+- **mmap reads.**  Payloads are sliced out of memory-mapped segments —
+  no per-hit ``open``/``read`` syscalls on a warm store.
+- **Bounded in-memory LRU hit tier.**  Deserialized payloads are kept
+  in an :class:`~collections.OrderedDict` capped at ``memory_entries``,
+  so a repeated sweep never touches disk twice; ``memory_entries=0``
+  disables the tier for pure disk measurements.
+- **Legacy migration.**  Opening a directory that contains
+  ``<hex key>.pkl`` files written by the legacy
+  :class:`~repro.eval.parallel.SweepCache` imports them (raw bytes, so
+  reads stay byte-identical) into the packed layout once; the legacy
+  files are left in place for older readers.
+
+The layout is deliberately batch-oriented: each publish rewrites the
+(compact, 48-bytes-per-entry) index and appends new segment files, so
+one sweep's worth of entries per ``put_many`` is the intended traffic
+shape.  A workload of many tiny single-entry publishes pays an index
+rewrite each time and accretes small segments; segment compaction is
+future work (see ROADMAP).
+
+The store is key-addressed and payload-kind aware but job-agnostic at
+the batch layer: :func:`~repro.eval.parallel.job_keys` produces the
+keys, :func:`~repro.eval.parallel.run_design_jobs` /
+:func:`~repro.eval.parallel.run_cycle_jobs` drive ``get_many`` /
+``put_many`` exactly once per call.  Job-level ``get``/``put``
+conveniences mirror the legacy API for tests and interactive use.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import pickle
+import struct
+import tempfile
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterable, Sequence
+
+try:  # pragma: no cover - always available on the supported platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+from repro.errors import CacheError, ParameterError
+from repro.eval.parallel import (
+    _DECODE_ERRORS,
+    _KIND_PAYLOADS,
+    CACHE_SCHEMA_VERSION,
+    METRICS_KIND,
+    DesignJob,
+    job_key,
+    relabelled,
+)
+
+_INDEX_MAGIC = b"REDPACK1\n"
+#: Index row: raw key (32), segment id (u32), offset (u64), length (u32).
+_ROW = struct.Struct("<32sIQI")
+#: Segment record header: raw key (32), payload length (u32).
+_RECORD = struct.Struct("<32sI")
+
+_INDEX_NAME = "index.bin"
+_LOCK_NAME = ".lock"
+
+
+def _key_bytes(key: str) -> bytes:
+    """The raw 32 bytes behind a 64-hex-digit job key."""
+    if len(key) != 64:
+        raise CacheError(f"store keys are 64 hex digits, got {key!r}")
+    try:
+        return bytes.fromhex(key)
+    except ValueError as exc:
+        raise CacheError(f"store keys are 64 hex digits, got {key!r}") from exc
+
+
+class PackedSweepStore:
+    """Batched on-disk sweep result store with an in-memory hit tier.
+
+    Args:
+        directory: store root; created if missing.  Legacy
+            directory-of-pickles content found there is migrated into
+            the packed layout on open.
+        num_shards: how many logical shards ``put_many`` splits a batch
+            over (one segment file per touched shard per batch).
+        memory_entries: LRU hit-tier capacity in entries (``0``
+            disables the tier).
+
+    Statistics (``hits = memory_hits + disk_hits``, plus ``misses``,
+    ``stores``, ``corrupt`` and ``migrated``) are plain attributes,
+    mirroring :class:`~repro.eval.parallel.SweepCache`.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        *,
+        num_shards: int = 16,
+        memory_entries: int = 65536,
+    ) -> None:
+        if num_shards < 1:
+            raise ParameterError(f"num_shards must be >= 1, got {num_shards}")
+        if memory_entries < 0:
+            raise ParameterError(
+                f"memory_entries must be >= 0, got {memory_entries}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.num_shards = num_shards
+        self.memory_entries = memory_entries
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.corrupt = 0
+        self.migrated = 0
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self._lock = threading.Lock()
+        self._segments: list[str] = []
+        self._index: dict[bytes, tuple[int, int, int]] = {}
+        self._index_stamp: tuple[int, int] | None = None
+        self._mmaps: dict[str, mmap.mmap] = {}
+        self._memory: OrderedDict[str, object] = OrderedDict()
+        #: Keys whose payload decoded as corrupt, mapped to the index
+        #: location observed bad: dropped from the live index
+        #: immediately and scrubbed from the on-disk index at the next
+        #: publish — but only while the disk index still points at the
+        #: same location, so another process's fresh rewrite of the key
+        #: is never deleted.
+        self._dead: dict[bytes, tuple[int, int, int]] = {}
+        with self._lock:
+            self._reload_index_locked()
+        self._migrate_legacy()
+
+    # ------------------------------------------------------------------
+    # Batch protocol (what run_design_jobs / run_cycle_jobs speak)
+    # ------------------------------------------------------------------
+    def get_many(self, keys: Sequence[str], kind: str = METRICS_KIND) -> list:
+        """Stored payloads per key, in key order (``None`` per miss).
+
+        Payloads come back exactly as stored; relabelling is the
+        caller's concern.  Lookups hit the LRU tier first, then the
+        offset index + mmap'd segments; disk hits populate the tier so
+        the next sweep stays in memory.  A corrupt or shape-skewed
+        payload counts in :attr:`corrupt`, drops out of the live index
+        (so the slot is rewritten) and reads as a miss.
+        """
+        expected = _KIND_PAYLOADS[kind]
+        results: list = [None] * len(keys)
+        # Phase 1 (tier lock): memory probes, index lookups, raw mmap
+        # slices.  In-batch duplicate keys share one pending slot so the
+        # payload is read and decoded once.
+        pending: dict[
+            str, tuple[bytes | None, bytes, tuple[int, int, int], list[int]]
+        ] = {}
+        with self._lock:
+            memory = self._memory
+            memory_get = memory.get
+            move_to_end = memory.move_to_end
+            served = 0
+            missed = 0
+            reloaded = False
+            for position, key in enumerate(keys):
+                value = memory_get(key)
+                # The kind check mirrors the disk path: a kind-mismatched
+                # caller must not get a hit just because the tier is warm.
+                if value is not None and isinstance(value, expected):
+                    move_to_end(key)
+                    served += 1
+                    results[position] = value
+                    continue
+                slot = pending.get(key)
+                if slot is not None:
+                    slot[3].append(position)
+                    continue
+                raw = _key_bytes(key)
+                location = self._index.get(raw)
+                if location is None and not reloaded:
+                    # Another process may have published since we last
+                    # read the index — refresh at most once per call.
+                    reloaded = True
+                    if self._maybe_reload_index_locked():
+                        location = self._index.get(raw)
+                if location is None:
+                    missed += 1
+                    continue
+                pending[key] = (
+                    self._read_locked(location), raw, location, [position]
+                )
+            self.hits += served
+            self.memory_hits += served
+            self.misses += missed
+            if not pending:
+                return results
+        # Phase 2 (no lock): deserialize — the expensive part — without
+        # serializing other threads' probes.  mmap slices are copies, so
+        # they stay valid outside the lock.
+        decoded: list[tuple[str, object, list[int]]] = []
+        corrupt: list[tuple[bytes, tuple[int, int, int]]] = []
+        unreadable = 0
+        for key, (payload, raw, location, positions) in pending.items():
+            if payload is None:
+                # The segment could not be opened/sliced (transient I/O,
+                # fd pressure, racing cleanup).  That is a plain miss —
+                # the on-disk bytes may be perfectly valid, so the entry
+                # must NOT be scrubbed as corrupt.
+                unreadable += len(positions)
+                continue
+            try:
+                value = pickle.loads(payload)
+            except _DECODE_ERRORS:
+                value = None
+            if value is None or not isinstance(value, expected):
+                corrupt.append((raw, location))
+                continue
+            decoded.append((key, value, positions))
+        # Phase 3 (tier lock): publish into the memory tier + counters.
+        with self._lock:
+            self.misses += unreadable
+            for key, value, positions in decoded:
+                self.hits += len(positions)
+                self.disk_hits += len(positions)
+                for position in positions:
+                    results[position] = value
+                self._memory_insert_locked(key, value)
+            for raw, location in corrupt:
+                self._discard_corrupt_locked(raw, location)
+        return results
+
+    def put_many(
+        self, entries: Iterable[tuple[str, object]], kind: str = METRICS_KIND
+    ) -> int:
+        """Persist ``(key, payload)`` pairs as one batch.
+
+        The whole batch becomes at most ``num_shards`` new segment
+        files and exactly one atomic index publish, serialized against
+        concurrent writers by the store's advisory file lock.  Returns
+        the number of entries written.
+        """
+        expected = _KIND_PAYLOADS[kind]
+        serialized: list[tuple[bytes, bytes]] = []
+        cached: list[tuple[str, object]] = []
+        for key, value in entries:
+            if not isinstance(value, expected):
+                raise TypeError(
+                    f"cache kind {kind!r} stores {expected.__name__}, "
+                    f"got {type(value).__name__}"
+                )
+            serialized.append(
+                (_key_bytes(key), pickle.dumps(value, pickle.HIGHEST_PROTOCOL))
+            )
+            cached.append((key, value))
+        if not serialized:
+            return 0
+        self._publish(serialized)
+        with self._lock:
+            for key, value in cached:
+                self._memory_insert_locked(key, value)
+        self.stores += len(cached)
+        return len(cached)
+
+    # ------------------------------------------------------------------
+    # Job-level compatibility API (mirrors the legacy SweepCache)
+    # ------------------------------------------------------------------
+    def get(
+        self, job: DesignJob, kind: str = METRICS_KIND, *, key: str | None = None
+    ):
+        """Cached payload for a job, relabelled to the job's layer name."""
+        value = self.get_many([key or job_key(job, kind)], kind)[0]
+        if value is None:
+            return None
+        return relabelled(value, job.layer_name)
+
+    def put(
+        self,
+        job: DesignJob,
+        value,
+        kind: str = METRICS_KIND,
+        *,
+        key: str | None = None,
+    ) -> None:
+        """Store one result under the job's key (a one-entry batch)."""
+        self.put_many([(key or job_key(job, kind), value)], kind)
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of keys reachable through the live index."""
+        with self._lock:
+            return len(self._index)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._memory or _key_bytes(key) in self._index
+
+    def memory_size(self) -> int:
+        """Entries currently held by the LRU hit tier."""
+        with self._lock:
+            return len(self._memory)
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot for benchmark/CI reporting."""
+        return {
+            "hits": self.hits,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+            "migrated": self.migrated,
+            "indexed_entries": len(self),
+            "memory_entries_used": self.memory_size(),
+            "segments": len(self._segments),
+        }
+
+    def refresh(self) -> None:
+        """Re-read the on-disk index (picks up other writers' batches)."""
+        with self._lock:
+            self._maybe_reload_index_locked()
+
+    def close(self) -> None:
+        """Release mmap'd segments and the memory tier (idempotent)."""
+        with self._lock:
+            for mapped in self._mmaps.values():
+                try:
+                    mapped.close()
+                except (OSError, ValueError):  # pragma: no cover - defensive
+                    pass
+            self._mmaps.clear()
+            self._memory.clear()
+
+    def __enter__(self) -> "PackedSweepStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Index + segment machinery
+    # ------------------------------------------------------------------
+    @property
+    def _index_path(self) -> Path:
+        return self.directory / _INDEX_NAME
+
+    @contextmanager
+    def _writer_lock(self):
+        """Advisory cross-process lock for read-merge-publish cycles."""
+        handle = open(self.directory / _LOCK_NAME, "ab")
+        try:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            yield
+        finally:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            handle.close()
+
+    def _read_index_file(
+        self,
+    ) -> tuple[list[str], dict[bytes, tuple[int, int, int]], tuple[int, int] | None]:
+        """``(segments, entries, stamp)`` from disk; empty when absent,
+        unreadable, or written under a different schema version (keys
+        embed the schema, so stale entries could never match anyway)."""
+        path = self._index_path
+        try:
+            with open(path, "rb") as handle:
+                # fstat the open fd: os.replace swaps the inode, so
+                # stat-ing by path after reading could pair stale bytes
+                # with a newer file's stamp and freeze the staleness
+                # check.  The fd pins one inode — bytes and stamp are
+                # guaranteed to describe the same index generation.
+                stat = os.fstat(handle.fileno())
+                data = handle.read()
+        except OSError:
+            return [], {}, None
+        stamp = (stat.st_mtime_ns, stat.st_size)
+        try:
+            if not data.startswith(_INDEX_MAGIC):
+                return [], {}, stamp
+            header_end = data.index(b"\n", len(_INDEX_MAGIC))
+            manifest = json.loads(data[len(_INDEX_MAGIC):header_end])
+            if manifest.get("schema") != CACHE_SCHEMA_VERSION:
+                return [], {}, stamp
+            segments = [str(name) for name in manifest["segments"]]
+            rows = data[header_end + 1 :]
+            usable = len(rows) - len(rows) % _ROW.size
+            entries = {
+                key: (segment, offset, length)
+                for key, segment, offset, length in _ROW.iter_unpack(rows[:usable])
+            }
+        except (ValueError, KeyError, TypeError, struct.error):
+            return [], {}, stamp
+        return segments, entries, stamp
+
+    def _reload_index_locked(self) -> None:
+        self._segments, self._index, self._index_stamp = self._read_index_file()
+
+    def _maybe_reload_index_locked(self) -> bool:
+        """Refresh the in-memory index if the file changed on disk."""
+        try:
+            stat = self._index_path.stat()
+            stamp = (stat.st_mtime_ns, stat.st_size)
+        except OSError:
+            stamp = None
+        if stamp == self._index_stamp:
+            return False
+        self._reload_index_locked()
+        return True
+
+    def _publish(self, serialized: list[tuple[bytes, bytes]]) -> None:
+        """Append a batch to new segments and publish the merged index.
+
+        Runs the read-merge-publish cycle under the writer lock: the
+        on-disk index is re-read (another process may have published
+        since), the batch is appended as one segment per touched shard,
+        and the merged index replaces ``index.bin`` atomically.
+        """
+        with self._lock:
+            dead = dict(self._dead)
+        with self._writer_lock():
+            segments, entries, _ = self._read_index_file()
+            # Scrub entries this store observed as corrupt — re-merging
+            # the on-disk index must not resurrect them.  Only the exact
+            # location seen bad is scrubbed (segment ids are append-only
+            # stable): if another process has since republished the key
+            # at a new location, that fresh entry survives.  A key both
+            # dead and rewritten in this batch is overwritten below.
+            for raw, location in dead.items():
+                if entries.get(raw) == location:
+                    del entries[raw]
+            by_shard: dict[int, list[tuple[bytes, bytes]]] = {}
+            for raw, payload in serialized:
+                by_shard.setdefault(raw[0] % self.num_shards, []).append(
+                    (raw, payload)
+                )
+            for shard in sorted(by_shard):
+                name, locations = self._write_segment(shard, by_shard[shard])
+                segments.append(name)
+                segment_id = len(segments) - 1
+                for raw, offset, length in locations:
+                    entries[raw] = (segment_id, offset, length)
+            self._write_index(segments, entries)
+            try:
+                stat = self._index_path.stat()
+                stamp = (stat.st_mtime_ns, stat.st_size)
+            except OSError:  # pragma: no cover - we just wrote it
+                stamp = None
+        with self._lock:
+            self._segments = segments
+            self._index = entries
+            self._index_stamp = stamp
+            # The scrub is durable now; rewritten keys are live again.
+            for raw in dead:
+                self._dead.pop(raw, None)
+
+    def _write_segment(
+        self, shard: int, records: list[tuple[bytes, bytes]]
+    ) -> tuple[str, list[tuple[bytes, int, int]]]:
+        """One immutable segment holding a batch's records for a shard."""
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=f"seg-{shard:02x}-", suffix=".part"
+        )
+        locations: list[tuple[bytes, int, int]] = []
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                offset = 0
+                for raw, payload in records:
+                    handle.write(_RECORD.pack(raw, len(payload)))
+                    offset += _RECORD.size
+                    handle.write(payload)
+                    locations.append((raw, offset, len(payload)))
+                    offset += len(payload)
+            final = tmp[: -len(".part")] + ".seg"
+            os.replace(tmp, final)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return os.path.basename(final), locations
+
+    def _write_index(
+        self, segments: list[str], entries: dict[bytes, tuple[int, int, int]]
+    ) -> None:
+        manifest = json.dumps(
+            {"schema": CACHE_SCHEMA_VERSION, "segments": segments},
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+        blob = bytearray(_INDEX_MAGIC)
+        blob += manifest
+        blob += b"\n"
+        pack = _ROW.pack
+        for raw, (segment, offset, length) in entries.items():
+            blob += pack(raw, segment, offset, length)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".idx.tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, self._index_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _read_locked(self, location: tuple[int, int, int]) -> bytes | None:
+        segment_id, offset, length = location
+        if segment_id >= len(self._segments):
+            return None
+        name = self._segments[segment_id]
+        mapped = self._mmaps.get(name)
+        if mapped is None:
+            try:
+                with open(self.directory / name, "rb") as handle:
+                    mapped = mmap.mmap(
+                        handle.fileno(), 0, access=mmap.ACCESS_READ
+                    )
+            except (OSError, ValueError):
+                return None
+            self._mmaps[name] = mapped
+        payload = mapped[offset : offset + length]
+        if len(payload) != length:
+            return None
+        return payload
+
+    def _discard_corrupt_locked(
+        self, raw: bytes, location: tuple[int, int, int]
+    ) -> None:
+        """Count a bad payload and drop it from the live index so the
+        next publish rewrites the slot (segments are append-only — the
+        dead record is simply never referenced again).  The observed
+        location is remembered in :attr:`_dead` so the next publish
+        scrubs it from the on-disk index instead of re-merging it back
+        in (and only it — a concurrent rewrite at a new location is
+        left alone)."""
+        self.corrupt += 1
+        self.misses += 1
+        self._index.pop(raw, None)
+        self._dead[raw] = location
+
+    def _memory_insert_locked(self, key: str, value: object) -> None:
+        if self.memory_entries == 0:
+            return
+        memory = self._memory
+        memory[key] = value
+        memory.move_to_end(key)
+        while len(memory) > self.memory_entries:
+            memory.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Legacy directory-of-pickles migration
+    # ------------------------------------------------------------------
+    #: Entries per migration publish — bounds peak memory to one chunk
+    #: of legacy payload bytes however large the directory is.
+    _MIGRATION_CHUNK = 4096
+
+    def _migrate_legacy(self) -> None:
+        """Import ``<64-hex-key>.pkl`` files the legacy SweepCache wrote.
+
+        Raw file bytes are appended verbatim (no re-pickling), so a
+        migrated entry reads back byte-identical to the legacy path.
+        Keys already present in the packed index are skipped, making
+        repeated opens idempotent; the legacy files are left in place
+        for older readers, and large directories are imported in
+        bounded chunks (one publish per :attr:`_MIGRATION_CHUNK`
+        entries).  Note that entries written under an *older*
+        ``CACHE_SCHEMA_VERSION`` migrate but can no longer be looked up
+        — their keys embed the old schema tag, which is exactly how a
+        schema bump invalidates stale results.
+        """
+        imported: list[tuple[bytes, bytes]] = []
+        migrated = 0
+        for path in sorted(self.directory.glob("*.pkl")):
+            stem = path.stem
+            if len(stem) != 64:
+                continue
+            try:
+                raw = bytes.fromhex(stem)
+            except ValueError:
+                continue
+            with self._lock:
+                if raw in self._index:
+                    continue
+            try:
+                imported.append((raw, path.read_bytes()))
+            except OSError:  # pragma: no cover - racing unlink
+                continue
+            if len(imported) >= self._MIGRATION_CHUNK:
+                self._publish(imported)
+                migrated += len(imported)
+                imported = []
+        if imported:
+            self._publish(imported)
+            migrated += len(imported)
+        self.migrated = migrated

@@ -14,6 +14,7 @@ from repro.api.schema import SweepPoint
 from repro.arch.tech import TechnologyParams
 from repro.errors import ParameterError
 from repro.eval.parallel import SweepCache
+from repro.eval.store import PackedSweepStore
 
 #: Backwards-compatible name: the sweep's point type now lives in the
 #: versioned API schema (:class:`repro.api.schema.SweepPoint`).
@@ -28,7 +29,7 @@ def stride_speedup_sweep(
     tech: TechnologyParams | None = None,
     fold: int | str = 1,
     jobs: int = 1,
-    cache: SweepCache | str | os.PathLike | None = None,
+    cache: SweepCache | PackedSweepStore | str | os.PathLike | None = None,
 ) -> list[StrideSweepPoint]:
     """Measure RED's speedup as the stride grows (FCN convention K=2s).
 
@@ -39,7 +40,9 @@ def stride_speedup_sweep(
 
     Delegates to :meth:`repro.api.service.RedService.sweep_points`, the
     single evaluation path: ``jobs`` fans the per-stride evaluations over
-    a process pool and ``cache`` makes repeated sweeps near-free.  The
+    a process pool and ``cache`` makes repeated sweeps near-free (a
+    directory path constructs the batched
+    :class:`~repro.eval.store.PackedSweepStore`).  The
     service is scoped to the call (context-managed) so its thread pool
     and compiled-schedule cache are released before returning.
     """

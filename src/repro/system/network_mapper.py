@@ -17,6 +17,7 @@ from repro.arch.tech import TechnologyParams, default_tech
 from repro.deconv.shapes import DeconvSpec
 from repro.errors import ShapeError
 from repro.eval.parallel import SweepCache
+from repro.eval.store import PackedSweepStore
 from repro.nn.modules import ConvTranspose2d, Module, Sequential
 
 
@@ -115,7 +116,7 @@ def evaluate_network(
     tech: TechnologyParams | None = None,
     designs: tuple[str, ...] | None = None,
     jobs: int = 1,
-    cache: SweepCache | str | os.PathLike | None = None,
+    cache: SweepCache | PackedSweepStore | str | os.PathLike | None = None,
 ) -> NetworkEvaluation:
     """Evaluate every design over every deconv layer of a network.
 
@@ -124,7 +125,8 @@ def evaluate_network(
     evaluation path: each (design, layer) pair becomes one
     :class:`~repro.eval.parallel.DesignJob` routed through
     :func:`~repro.eval.parallel.run_design_jobs`.  ``designs=None``
-    evaluates every registered design.
+    evaluates every registered design; a ``cache`` directory path
+    constructs the batched :class:`~repro.eval.store.PackedSweepStore`.
     """
     from repro.api.service import RedService
 

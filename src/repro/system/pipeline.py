@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.errors import ParameterError
 from repro.eval.parallel import SweepCache
+from repro.eval.store import PackedSweepStore
 from repro.system.network_mapper import NetworkEvaluation, evaluate_network
 from repro.utils.validation import check_positive_int
 
@@ -96,7 +97,7 @@ def pipeline_network_sweep(
     input_width: int = 1,
     tech=None,
     jobs: int = 1,
-    cache: SweepCache | str | os.PathLike | None = None,
+    cache: SweepCache | PackedSweepStore | str | os.PathLike | None = None,
 ) -> dict[str, PipelineReport]:
     """Pipeline reports for every design over one network, evaluated
     through the parallel sweep runner.

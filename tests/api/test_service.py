@@ -16,7 +16,8 @@ from repro.api.service import RedService
 from repro.arch.tech import default_tech
 from repro.deconv.shapes import DeconvSpec
 from repro.errors import SchemaError, UnknownDesignError
-from repro.eval.parallel import CYCLES_KIND, DesignJob, SweepCache
+from repro.eval.parallel import CYCLES_KIND, DesignJob, SweepCache, job_key
+from repro.eval.store import PackedSweepStore
 
 SPEC = DeconvSpec(4, 4, 3, 4, 4, 2, stride=2, padding=1)
 
@@ -92,17 +93,28 @@ class TestTrace:
     def test_trace_results_persist_in_the_sweep_cache(self, tmp_path):
         request = EvaluationRequest(spec=SPEC, trace=True, layer_name="L")
         cold = RedService(cache=tmp_path).evaluate(request)
-        cache = SweepCache(tmp_path)
-        warm_service = RedService(cache=cache)
+        # A path constructs the packed store; a fresh open sees the
+        # entries the cold service published.
+        store = PackedSweepStore(tmp_path)
+        warm_service = RedService(cache=store)
         warm = warm_service.evaluate(request)
         assert warm == cold
-        # Every entry was served from disk: three metrics + one cycles.
-        assert cache.hits == 4
-        assert cache.misses == 0
+        # Every entry was served from the store: three metrics + one cycles.
+        assert store.hits == 4
+        assert store.misses == 0
         job = DesignJob("RED", SPEC, default_tech(), layer_name="L")
-        path = cache.path_for(job, kind=CYCLES_KIND)
-        assert path.exists()
-        assert pickle.loads(path.read_bytes()).cycles == cold.metrics_for("RED").cycles
+        key = job_key(job, kind=CYCLES_KIND)
+        assert key in store
+        stats = store.get_many([key], kind=CYCLES_KIND)[0]
+        assert stats.cycles == cold.metrics_for("RED").cycles
+
+    def test_legacy_sweep_cache_still_accepted(self, tmp_path):
+        request = EvaluationRequest(spec=SPEC, trace=True, layer_name="L")
+        cache = SweepCache(tmp_path)
+        cold = RedService(cache=cache).evaluate(request)
+        warm = RedService(cache=cache).evaluate(request)
+        assert warm == cold
+        assert cache.hits == 4
 
     def test_cached_cycle_stats_relabelled(self, tmp_path):
         RedService(cache=tmp_path).evaluate(

@@ -107,9 +107,24 @@ class TestCacheLifecycle:
         job = make_job()
         cache.path_for(job).write_bytes(b"not a pickle")
         assert cache.get(job) is None
+        # The bad entry is counted and unlinked so the slot is rewritten.
+        assert cache.corrupt == 1
+        assert cache.misses == 1
+        assert not cache.path_for(job).exists()
         results = run_design_jobs([job], cache=cache)
         assert pickle.dumps(results[0]) == pickle.dumps(evaluate_design_job(job))
         assert cache.get(job) is not None
+        assert cache.corrupt == 1  # the rewrite is clean
+
+    def test_shape_skewed_entry_counts_as_corrupt(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        job = make_job()
+        # A valid pickle of the wrong payload class (e.g. written before
+        # a payload schema change) is shape skew, not a programming error.
+        cache.path_for(job).write_bytes(pickle.dumps({"not": "metrics"}))
+        assert cache.get(job) is None
+        assert cache.corrupt == 1
+        assert not cache.path_for(job).exists()
 
     def test_tech_change_invalidates_previous_results(self, tmp_path):
         cache = SweepCache(tmp_path)
@@ -121,12 +136,15 @@ class TestCacheLifecycle:
         stale, = run_design_jobs([job], cache=cache)
         assert fresh.latency.total != stale.latency.total
 
-    def test_directory_path_coercion(self, tmp_path):
+    def test_directory_path_coercion_builds_packed_store(self, tmp_path):
         job = make_job()
         first = run_design_jobs([job], cache=str(tmp_path))
         second = run_design_jobs([job], cache=tmp_path)
         assert pickle.dumps(first) == pickle.dumps(second)
-        assert len(list(tmp_path.glob("*.pkl"))) == 1
+        # A path constructs the packed store, not the per-pickle layout.
+        assert (tmp_path / "index.bin").exists()
+        assert len(list(tmp_path.glob("*.seg"))) >= 1
+        assert len(list(tmp_path.glob("*.pkl"))) == 0
 
     def test_duplicate_jobs_computed_once_with_labels_preserved(self, tmp_path):
         cache = SweepCache(tmp_path)
