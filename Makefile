@@ -26,14 +26,14 @@ lint:
 	fi
 
 bench-smoke:
-	RED_BENCH_QUICK=1 python -m pytest benchmarks/bench_batch_engine.py benchmarks/bench_cycle_compile.py benchmarks/bench_sweep_vectorized.py benchmarks/bench_cache_plane.py -q
+	RED_BENCH_QUICK=1 python -m pytest benchmarks/bench_batch_engine.py benchmarks/bench_cycle_compile.py benchmarks/bench_sweep_vectorized.py benchmarks/bench_cache_plane.py benchmarks/bench_device_plane.py -q
 
 # bench_batch_engine.py / bench_cycle_compile.py / bench_sweep_vectorized.py
-# / bench_cache_plane.py time wall-clock manually (no pytest-benchmark
-# fixture), so --benchmark-only would skip them; run them separately to
-# keep the full-mode speedup gates in the target.
+# / bench_cache_plane.py / bench_device_plane.py time wall-clock manually
+# (no pytest-benchmark fixture), so --benchmark-only would skip them; run
+# them separately to keep the full-mode speedup gates in the target.
 bench:
 	python -m pytest benchmarks/ -o python_files="bench_*.py" --benchmark-only -s
-	python -m pytest benchmarks/bench_batch_engine.py benchmarks/bench_cycle_compile.py benchmarks/bench_sweep_vectorized.py benchmarks/bench_cache_plane.py -q -s
+	python -m pytest benchmarks/bench_batch_engine.py benchmarks/bench_cycle_compile.py benchmarks/bench_sweep_vectorized.py benchmarks/bench_cache_plane.py benchmarks/bench_device_plane.py -q -s
 
 verify: lint test bench-smoke

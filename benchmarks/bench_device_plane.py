@@ -1,0 +1,198 @@
+"""ISSUE-6 acceptance benchmark: the vectorized device-fidelity plane.
+
+The scalar oracle (:func:`repro.reram.batch.fidelity_point`) walks one
+(seed, time) point at a time: it re-draws the programming lognormals,
+re-samples the stuck-at pattern, re-applies drift, re-sums the crossbar
+and re-quantizes per point.  The batched sampler
+(:func:`repro.reram.batch.sample_fidelity_grid`) amortizes the
+expensive per-seed programming/stuck draws across every requested time
+and vectorizes drift/readback/metrics over the whole (time, seed) grid
+in struct-of-arrays form.
+
+This module gates the batched plane on the frontier grid every design
+registered in :mod:`repro.api.registry` exposes:
+
+1. **Scalar oracle**: ``fidelity_point`` in a Python loop over the
+   (design, seed, time) grid — the per-point reference path.
+2. **Batched grid**: one ``sample_fidelity_grid`` call per design over
+   the same points.
+
+The timed scenario exercises programming variation, stuck-at faults
+and retention drift.  Read noise is deliberately **off** in the timed
+grid: the seeding contract keys each read-noise draw to its own
+``(seed, time)`` stream, so both paths must construct one small
+generator per point and the term cancels out of the ratio — timing it
+would only dilute the signal.  A separate, untimed scenario turns read
+noise (and stuck-at faults) on and re-checks bit-identity, so the
+full physics stays covered.
+
+Gates: the batched sampler must deliver **>= 10x** the scalar oracle's
+samples/s (>= 3x under ``RED_BENCH_QUICK=1``), with the two paths
+*byte-identical* (per-point pickle bytes) in both scenarios — the
+speed-up may not buy even one ULP of divergence.  Measurements land in
+``BENCH_device.json`` (path override: ``RED_BENCH_DEVICE_JSON``),
+uploaded as a CI artifact.  ``RED_BENCH_QUICK=1`` selects the smoke
+configuration (smaller grid, lower floor).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import statistics
+import time
+
+from benchmarks.conftest import emit
+from repro.deconv.shapes import DeconvSpec
+from repro.api.registry import available_designs
+from repro.reram.batch import fidelity_point, profile_for_design, sample_fidelity_grid
+from repro.utils.formatting import render_ascii_table
+
+QUICK = os.environ.get("RED_BENCH_QUICK") == "1"
+
+BATCH_FLOOR = 3.0 if QUICK else 10.0
+REPEATS = 3
+
+SEEDS = tuple(range(3 if QUICK else 6))
+TIMES = tuple(float(3600 * 2**k) for k in range(8 if QUICK else 24))
+
+#: Timed scenario: programming variation + stuck-at faults + drift.
+SCENARIO = dict(
+    nu=0.02,
+    programming_sigma=0.08,
+    read_noise_sigma=0.0,
+    stuck_at_rate=0.01,
+)
+
+#: Untimed identity scenario: the full physics, read noise included.
+FULL_SCENARIO = dict(
+    nu=0.02,
+    programming_sigma=0.08,
+    read_noise_sigma=0.02,
+    stuck_at_rate=0.01,
+)
+
+JSON_PATH = os.environ.get("RED_BENCH_DEVICE_JSON", "BENCH_device.json")
+
+
+def _median_time(fn, repeats: int = REPEATS) -> float:
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def _build_profiles():
+    spec = DeconvSpec(8, 8, 32, 4, 4, 16, stride=2, padding=1)
+    return {
+        name: profile_for_design(name, spec)
+        for name in available_designs()
+    }
+
+
+def _scalar_sweep(profiles, scenario=SCENARIO, seeds=SEEDS, times=TIMES):
+    return {
+        name: [
+            fidelity_point(profile, seed, time_s, layer=name, **scenario)
+            for seed in seeds
+            for time_s in times
+        ]
+        for name, profile in profiles.items()
+    }
+
+
+def _batched_sweep(profiles, scenario=SCENARIO, seeds=SEEDS, times=TIMES):
+    points = [(seed, time_s) for seed in seeds for time_s in times]
+    return {
+        name: sample_fidelity_grid(profile, points, layer=name, **scenario)
+        for name, profile in profiles.items()
+    }
+
+
+def _digest(results) -> list[bytes]:
+    """Per-point pickles, flattened in deterministic design order."""
+    return [
+        pickle.dumps(stat, protocol=pickle.HIGHEST_PROTOCOL)
+        for name in sorted(results)
+        for stat in results[name]
+    ]
+
+
+def test_device_plane_speedup():
+    profiles = _build_profiles()
+    samples = len(profiles) * len(SEEDS) * len(TIMES)
+
+    scalar_results = _scalar_sweep(profiles)
+    t_scalar = _median_time(lambda: _scalar_sweep(profiles))
+
+    batched_results = _batched_sweep(profiles)
+    t_batched = _median_time(lambda: _batched_sweep(profiles))
+
+    # Correctness gate: vectorization may not change a single bit —
+    # in the timed scenario and with the full physics (read noise on).
+    assert _digest(scalar_results) == _digest(batched_results), (
+        "batched fidelity sampler diverged from the scalar oracle"
+    )
+    full_seeds, full_times = SEEDS[:2], TIMES[:3]
+    assert _digest(
+        _scalar_sweep(profiles, FULL_SCENARIO, full_seeds, full_times)
+    ) == _digest(
+        _batched_sweep(profiles, FULL_SCENARIO, full_seeds, full_times)
+    ), "batched sampler diverged from the oracle with read noise enabled"
+
+    speedup = t_scalar / t_batched
+    rows = [
+        (
+            "scalar oracle (fidelity_point loop)",
+            f"{t_scalar * 1e3:.1f}",
+            f"{samples / t_scalar:.0f}",
+            "1.00x",
+        ),
+        (
+            "batched grid (sample_fidelity_grid)",
+            f"{t_batched * 1e3:.1f}",
+            f"{samples / t_batched:.0f}",
+            f"{speedup:.2f}x",
+        ),
+    ]
+    emit(
+        render_ascii_table(
+            ("fidelity route", "wall-clock (ms)", "samples/s", "vs scalar"),
+            rows,
+            title=(
+                f"ISSUE-6 device plane: {len(profiles)} designs x "
+                f"{len(SEEDS)} seeds x {len(TIMES)} times "
+                f"= {samples} samples (quick={QUICK})"
+            ),
+        )
+    )
+
+    document = {
+        "schema": 1,
+        "quick": QUICK,
+        "designs": sorted(profiles),
+        "seeds": len(SEEDS),
+        "times": len(TIMES),
+        "samples": samples,
+        "scalar_s": t_scalar,
+        "batched_s": t_batched,
+        "samples_per_s": {
+            "scalar": samples / t_scalar,
+            "batched": samples / t_batched,
+        },
+        "speedup_vs_scalar": speedup,
+        "bit_identical": True,
+        "floors": {"batched": BATCH_FLOOR},
+    }
+    with open(JSON_PATH, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    assert speedup >= BATCH_FLOOR, (
+        f"batched fidelity sampler only {speedup:.2f}x the scalar oracle "
+        f"(floor {BATCH_FLOOR}x); scalar={t_scalar:.3f}s "
+        f"batched={t_batched:.3f}s"
+    )

@@ -61,6 +61,7 @@ _REGISTRY_EXPORTS = {
 }
 _SCHEMA_EXPORTS = {
     "SCHEMA_VERSION", "CommandPayload", "EvaluationRequest", "EvaluationResult",
+    "FidelityPoint", "FidelityRequest", "FidelityResult",
     "NetworkDesignSummary", "NetworkRequest", "NetworkResult", "SweepPoint",
     "SweepRequest", "SweepResult", "payload_from_dict",
 }

@@ -74,6 +74,15 @@ class DesignEntry:
             Designs with a hook are evaluated through the vectorized
             analytic plane (:mod:`repro.eval.vectorized`); designs
             without one fall back to the scalar per-job path.
+        fidelity_profile: optional Monte-Carlo fidelity hook, called as
+            ``fidelity_profile(spec, tech, adc_bits=..., max_rows=...,
+            max_cols=...)`` and returning the
+            :class:`~repro.reram.batch.FidelityProfile` the design
+            exposes to the device-fidelity plane.  ``None`` falls back
+            to :func:`~repro.reram.batch.derived_fidelity_profile`
+            (probe array from the design's perf geometry), so every
+            registered design appears in the fidelity frontier
+            automatically.
     """
 
     name: str
@@ -84,6 +93,7 @@ class DesignEntry:
     baseline: bool = False
     description: str = ""
     perf_batch: Callable[..., object] | None = None
+    fidelity_profile: Callable[..., object] | None = None
 
 
 #: Canonical name -> entry, in registration order (dicts preserve it).
@@ -101,6 +111,7 @@ def register_design(
     baseline: bool = False,
     description: str = "",
     perf_batch: Callable[..., object] | None = None,
+    fidelity_profile: Callable[..., object] | None = None,
 ):
     """Class/function decorator registering a design factory under ``name``.
 
@@ -121,6 +132,7 @@ def register_design(
             baseline=baseline,
             description=description or (inspect.getdoc(factory) or "").split("\n")[0],
             perf_batch=perf_batch,
+            fidelity_profile=fidelity_profile,
         )
         claimed = [name, *entry.aliases]
         for label in claimed:
@@ -236,12 +248,27 @@ def _red_perf_batch(specs, folds, tech=None, layer_names=None):
     return REDDesign.perf_input_batch(specs, folds, tech, layer_names)
 
 
+def _derived_fidelity_hook(name):
+    """A fidelity hook bound to the default perf-geometry derivation."""
+
+    def hook(spec, tech=None, *, adc_bits=None, max_rows=128, max_cols=128):
+        from repro.reram.batch import derived_fidelity_profile
+
+        return derived_fidelity_profile(
+            name, spec, tech,
+            adc_bits=adc_bits, max_rows=max_rows, max_cols=max_cols,
+        )
+
+    return hook
+
+
 @register_design(
     "zero-padding",
     aliases=("zp", "zero_padding"),
     baseline=True,
     description="Algorithm 1 baseline: zero-inserted input, dense crossbar",
     perf_batch=_zero_padding_perf_batch,
+    fidelity_profile=_derived_fidelity_hook("zero-padding"),
 )
 def _build_zero_padding(spec, tech):
     from repro.designs.zero_padding_design import ZeroPaddingDesign
@@ -254,6 +281,7 @@ def _build_zero_padding(spec, tech):
     aliases=("pf", "padding_free"),
     description="Algorithm 2 baseline: wide-row matrix, overlap-add + crop",
     perf_batch=_padding_free_perf_batch,
+    fidelity_profile=_derived_fidelity_hook("padding-free"),
 )
 def _build_padding_free(spec, tech):
     from repro.designs.padding_free_design import PaddingFreeDesign
@@ -268,6 +296,7 @@ def _build_padding_free(spec, tech):
     supports_trace=True,
     description="Pixel-wise mapped, zero-skipping deconvolution (the paper)",
     perf_batch=_red_perf_batch,
+    fidelity_profile=_derived_fidelity_hook("RED"),
 )
 def _build_red(spec, tech, fold="auto"):
     from repro.core.red_design import REDDesign

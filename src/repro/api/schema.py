@@ -758,6 +758,270 @@ class NetworkResult:
 
 
 # ----------------------------------------------------------------------
+# Device-fidelity frontier: accuracy vs energy vs drift, per design
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FidelityRequest:
+    """Monte-Carlo device-fidelity sweep over one layer.
+
+    Exactly one of ``layer`` or ``spec`` must be given (same contract as
+    :class:`EvaluationRequest`).  The scenario knobs mirror
+    :class:`~repro.eval.parallel.FidelityJob`: every requested design is
+    sampled over the full ``seeds x times`` grid under the same noise
+    scenario, and the result pairs each design's fidelity curve with its
+    analytic energy so the accuracy-vs-energy-vs-drift frontier can be
+    read off directly.
+
+    Attributes:
+        layer: Table I layer name, or ``None`` when ``spec`` is given.
+        spec: explicit layer shape, or ``None`` when ``layer`` is given.
+        designs: design names/aliases; ``()`` -> all registered.
+        seeds: Monte-Carlo seeds (non-negative, non-empty).
+        times: retention times in seconds (positive, non-empty).
+        nu: drift exponent.
+        programming_sigma: lognormal write-variation sigma.
+        read_noise_sigma: relative read-noise sigma.
+        stuck_at_rate: stuck-at fault probability per cell.
+        adc_bits: ADC resolution override (``None`` -> lossless sizing).
+        max_rows / max_cols: probe-array caps for the derived profiles.
+        tech_overrides: ``TechnologyParams`` field overrides.
+        layer_name: label carried into the results.
+    """
+
+    layer: str | None = None
+    spec: DeconvSpec | None = None
+    designs: tuple[str, ...] = ()
+    seeds: tuple[int, ...] = (0, 1, 2, 3)
+    times: tuple[float, ...] = (1.0, 3600.0, 86400.0, 2.6e6, 3.2e7)
+    nu: float = 0.02
+    programming_sigma: float = 0.05
+    read_noise_sigma: float = 0.0
+    stuck_at_rate: float = 0.0
+    adc_bits: int | None = None
+    max_rows: int = 128
+    max_cols: int = 128
+    tech_overrides: tuple[tuple[str, object], ...] = ()
+    layer_name: str = ""
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if self.schema_version != SCHEMA_VERSION:
+            raise SchemaError(
+                f"FidelityRequest schema_version {self.schema_version!r} != {SCHEMA_VERSION}"
+            )
+        if (self.layer is None) == (self.spec is None):
+            raise SchemaError(
+                "exactly one of 'layer' (a benchmark-layer name) or 'spec' "
+                "must be provided"
+            )
+        if self.spec is not None and not isinstance(self.spec, DeconvSpec):
+            raise SchemaError(f"spec must be a DeconvSpec, got {type(self.spec).__name__}")
+        try:
+            seeds = tuple(int(s) for s in self.seeds)
+        except (TypeError, ValueError):
+            raise SchemaError(f"seeds must be integers, got {self.seeds!r}") from None
+        if not seeds or any(s < 0 for s in seeds):
+            raise SchemaError(f"seeds must be non-negative and non-empty, got {seeds!r}")
+        object.__setattr__(self, "seeds", seeds)
+        try:
+            times = tuple(float(t) for t in self.times)
+        except (TypeError, ValueError):
+            raise SchemaError(f"times must be numbers, got {self.times!r}") from None
+        if not times or any(t <= 0.0 for t in times):
+            raise SchemaError(f"times must be positive and non-empty, got {times!r}")
+        object.__setattr__(self, "times", times)
+        for name in ("nu", "programming_sigma", "read_noise_sigma"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool) or value < 0:
+                raise SchemaError(f"{name} must be a non-negative number, got {value!r}")
+        rate = self.stuck_at_rate
+        if not isinstance(rate, (int, float)) or isinstance(rate, bool) or not 0 <= rate <= 1:
+            raise SchemaError(f"stuck_at_rate must be in [0, 1], got {rate!r}")
+        if self.adc_bits is not None and (
+            not isinstance(self.adc_bits, int)
+            or isinstance(self.adc_bits, bool)
+            or self.adc_bits < 1
+        ):
+            raise SchemaError(f"adc_bits must be a positive int or None, got {self.adc_bits!r}")
+        for name in ("max_rows", "max_cols"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise SchemaError(f"{name} must be a positive int, got {value!r}")
+        object.__setattr__(self, "designs", _tuple_of_str(self.designs, "designs"))
+        object.__setattr__(
+            self, "tech_overrides", _normalize_overrides(self.tech_overrides)
+        )
+
+    def resolved_tech(self, base: TechnologyParams | None = None) -> TechnologyParams:
+        """The concrete technology after applying the overrides."""
+        return _resolve_tech(self.tech_overrides, base)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "fidelity_request",
+            "schema_version": self.schema_version,
+            "layer": self.layer,
+            "spec": None if self.spec is None else spec_to_dict(self.spec),
+            "designs": list(self.designs),
+            "seeds": list(self.seeds),
+            "times": list(self.times),
+            "nu": self.nu,
+            "programming_sigma": self.programming_sigma,
+            "read_noise_sigma": self.read_noise_sigma,
+            "stuck_at_rate": self.stuck_at_rate,
+            "adc_bits": self.adc_bits,
+            "max_rows": self.max_rows,
+            "max_cols": self.max_cols,
+            "tech_overrides": dict(self.tech_overrides),
+            "layer_name": self.layer_name,
+        }
+
+    @classmethod
+    def from_dict(cls, payload) -> "FidelityRequest":
+        payload = _require_mapping(payload, "fidelity_request")
+        _check_kind(payload, "fidelity_request")
+        _check_version(payload, "fidelity_request")
+        _check_keys(
+            payload,
+            "fidelity_request",
+            frozenset({"schema_version"}),
+            frozenset(
+                {"kind", "layer", "spec", "designs", "seeds", "times", "nu",
+                 "programming_sigma", "read_noise_sigma", "stuck_at_rate",
+                 "adc_bits", "max_rows", "max_cols", "tech_overrides",
+                 "layer_name"}
+            ),
+        )
+        spec = payload.get("spec")
+        kwargs = {
+            name: payload[name]
+            for name in (
+                "nu", "programming_sigma", "read_noise_sigma", "stuck_at_rate",
+                "adc_bits", "max_rows", "max_cols",
+            )
+            if name in payload
+        }
+        if "seeds" in payload:
+            kwargs["seeds"] = tuple(payload["seeds"])
+        if "times" in payload:
+            kwargs["times"] = tuple(payload["times"])
+        return cls(
+            layer=payload.get("layer"),
+            spec=None if spec is None else spec_from_dict(spec),
+            designs=tuple(payload.get("designs", ())),
+            tech_overrides=payload.get("tech_overrides", ()),
+            layer_name=str(payload.get("layer_name", "")),
+            **kwargs,
+        )
+
+
+@dataclass(frozen=True)
+class FidelityPoint:
+    """One Monte-Carlo sample of the frontier (mirrors
+    :class:`~repro.eval.parallel.FidelityStats`, labels dropped)."""
+
+    design: str
+    seed: int
+    time_s: float
+    rms_error: float
+    mean_abs_error: float
+    max_abs_error: float
+    stuck_fraction: float
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload) -> "FidelityPoint":
+        payload = _require_mapping(payload, "fidelity_point")
+        names = frozenset(f.name for f in fields(cls))
+        _check_keys(payload, "fidelity_point", names, frozenset())
+        return cls(
+            design=str(payload["design"]),
+            seed=int(payload["seed"]),
+            time_s=float(payload["time_s"]),
+            rms_error=float(payload["rms_error"]),
+            mean_abs_error=float(payload["mean_abs_error"]),
+            max_abs_error=float(payload["max_abs_error"]),
+            stuck_fraction=float(payload["stuck_fraction"]),
+        )
+
+
+@dataclass(frozen=True)
+class FidelityResult:
+    """The accuracy-vs-energy-vs-drift frontier for one layer.
+
+    Attributes:
+        layer: the evaluated layer's label.
+        designs: canonical design names, in evaluation order.
+        energy_j: analytic per-layer energy per design (the frontier's
+            energy axis, from :class:`~repro.arch.breakdown.DesignMetrics`).
+        points: every Monte-Carlo sample, design-major then in the
+            request's ``seeds x times`` order.
+    """
+
+    layer: str
+    designs: tuple[str, ...]
+    energy_j: tuple[float, ...]
+    points: tuple[FidelityPoint, ...]
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if self.schema_version != SCHEMA_VERSION:
+            raise SchemaError(
+                f"FidelityResult schema_version {self.schema_version!r} != {SCHEMA_VERSION}"
+            )
+        object.__setattr__(self, "designs", tuple(self.designs))
+        object.__setattr__(self, "energy_j", tuple(float(e) for e in self.energy_j))
+        object.__setattr__(self, "points", tuple(self.points))
+        if len(self.designs) != len(self.energy_j):
+            raise SchemaError(
+                f"{len(self.designs)} designs but {len(self.energy_j)} energies"
+            )
+
+    def points_for(self, design: str) -> tuple[FidelityPoint, ...]:
+        """Every sample of one design, in request order."""
+        if design not in self.designs:
+            raise KeyError(f"design {design!r} not in result ({self.designs})")
+        return tuple(p for p in self.points if p.design == design)
+
+    def energy_for(self, design: str) -> float:
+        """The analytic energy axis value of one design."""
+        for name, energy in zip(self.designs, self.energy_j):
+            if name == design:
+                return energy
+        raise KeyError(f"design {design!r} not in result ({self.designs})")
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "fidelity_result",
+            "schema_version": self.schema_version,
+            "layer": self.layer,
+            "designs": list(self.designs),
+            "energy_j": list(self.energy_j),
+            "points": [p.to_dict() for p in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, payload) -> "FidelityResult":
+        payload = _require_mapping(payload, "fidelity_result")
+        _check_kind(payload, "fidelity_result")
+        _check_version(payload, "fidelity_result")
+        _check_keys(
+            payload,
+            "fidelity_result",
+            frozenset({"schema_version", "layer", "designs", "energy_j", "points"}),
+            frozenset({"kind"}),
+        )
+        return cls(
+            layer=str(payload["layer"]),
+            designs=tuple(str(d) for d in payload["designs"]),
+            energy_j=tuple(float(e) for e in payload["energy_j"]),
+            points=tuple(FidelityPoint.from_dict(p) for p in payload["points"]),
+        )
+
+
+# ----------------------------------------------------------------------
 # Generic CLI envelope
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -824,6 +1088,8 @@ PAYLOAD_KINDS: dict[str, type] = {
     "sweep_result": SweepResult,
     "network_request": NetworkRequest,
     "network_result": NetworkResult,
+    "fidelity_request": FidelityRequest,
+    "fidelity_result": FidelityResult,
     "command_result": CommandPayload,
 }
 

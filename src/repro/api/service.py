@@ -47,6 +47,9 @@ from repro.api.registry import available_designs, baseline_design, resolve_desig
 from repro.api.schema import (
     EvaluationRequest,
     EvaluationResult,
+    FidelityPoint,
+    FidelityRequest,
+    FidelityResult,
     NetworkDesignSummary,
     NetworkRequest,
     NetworkResult,
@@ -59,10 +62,12 @@ from repro.deconv.shapes import DeconvSpec
 from repro.errors import ParameterError, SchemaError
 from repro.eval.parallel import (
     DesignJob,
+    FidelityJob,
     SweepCache,
     _coerce_cache,
     run_cycle_jobs,
     run_design_jobs,
+    run_fidelity_jobs,
 )
 from repro.eval.store import PackedSweepStore
 
@@ -158,6 +163,73 @@ class RedService:
             designs=designs,
             metrics=tuple(metrics),
             cycle_stats=cycle_stats,
+        )
+
+    def fidelity_sweep(self, request: FidelityRequest) -> FidelityResult:
+        """Monte-Carlo device-fidelity frontier for one layer.
+
+        The energy axis comes from the analytic metrics — the same
+        :class:`~repro.eval.parallel.DesignJob` list every other entry
+        point routes through :func:`~repro.eval.parallel.run_design_jobs`
+        — and the accuracy-vs-drift axes come from
+        :func:`~repro.eval.parallel.run_fidelity_jobs`, one
+        :class:`~repro.eval.parallel.FidelityJob` per
+        (design, seed, time) grid point, batched through the
+        struct-of-arrays sampler and persisted under the ``"fidelity"``
+        cache kind.
+        """
+        if not isinstance(request, FidelityRequest):
+            raise SchemaError(
+                f"fidelity_sweep() takes a FidelityRequest, got {type(request).__name__}"
+            )
+        spec, label = self._resolve_layer(request)
+        designs = self._resolve_designs(request.designs)
+        tech = request.resolved_tech(self.tech)
+        metrics = run_design_jobs(
+            [DesignJob(design, spec, tech, layer_name=label) for design in designs],
+            num_workers=self.num_workers,
+            cache=self.cache,
+            vectorized=self.vectorized,
+        )
+        stats = run_fidelity_jobs(
+            [
+                FidelityJob(
+                    design=design,
+                    spec=spec,
+                    tech=tech,
+                    seed=seed,
+                    time_s=time_s,
+                    nu=request.nu,
+                    programming_sigma=request.programming_sigma,
+                    read_noise_sigma=request.read_noise_sigma,
+                    stuck_at_rate=request.stuck_at_rate,
+                    adc_bits=request.adc_bits,
+                    max_rows=request.max_rows,
+                    max_cols=request.max_cols,
+                    layer_name=label,
+                )
+                for design in designs
+                for seed in request.seeds
+                for time_s in request.times
+            ],
+            cache=self.cache,
+        )
+        return FidelityResult(
+            layer=label,
+            designs=designs,
+            energy_j=tuple(m.energy.total for m in metrics),
+            points=tuple(
+                FidelityPoint(
+                    design=s.design,
+                    seed=s.seed,
+                    time_s=s.time_s,
+                    rms_error=s.rms_error,
+                    mean_abs_error=s.mean_abs_error,
+                    max_abs_error=s.max_abs_error,
+                    stuck_fraction=s.stuck_fraction,
+                )
+                for s in stats
+            ),
         )
 
     def sweep(self, request: SweepRequest) -> SweepResult:
@@ -307,9 +379,12 @@ class RedService:
             return self.sweep
         if isinstance(request, NetworkRequest):
             return self.evaluate_network
+        if isinstance(request, FidelityRequest):
+            return self.fidelity_sweep
         raise SchemaError(
             f"cannot dispatch request of type {type(request).__name__}; "
-            "expected EvaluationRequest, SweepRequest or NetworkRequest"
+            "expected EvaluationRequest, SweepRequest, NetworkRequest "
+            "or FidelityRequest"
         )
 
     # ------------------------------------------------------------------

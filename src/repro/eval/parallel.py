@@ -60,6 +60,12 @@ execution substrate for that list:
    trace-capable job (RED) through the batch engine and persists the
    resulting :class:`CycleStats` under the ``"cycles"`` cache kind,
    with the same batched probe/publish discipline.
+7. :func:`run_fidelity_jobs` — the Monte-Carlo device-fidelity
+   companion: draws :class:`FidelityJob` samples through the batched
+   struct-of-arrays sampler (:mod:`repro.reram.batch`), grouped per
+   (design, spec, tech, scenario), and persists the resulting
+   :class:`FidelityStats` under the ``"fidelity"`` cache kind — same
+   probe/publish discipline, same relabel-on-hit semantics.
 
 Design names are resolved through :mod:`repro.api.registry` — this
 module contains no hard-coded design dispatch.
@@ -98,11 +104,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (import cycle guard)
 
 #: Bump when the cached payload or key layout changes shape.
 #: 3: packed segment/index store became the default on-disk layout.
-CACHE_SCHEMA_VERSION = 3
+#: 4: device-fidelity plane joined the cache (``kind="fidelity"``).
+CACHE_SCHEMA_VERSION = 4
 
-#: Cache namespaces: analytic metrics vs cycle-level measurements.
+#: Cache namespaces: analytic metrics, cycle-level measurements, and
+#: Monte-Carlo device-fidelity samples.
 METRICS_KIND = "metrics"
 CYCLES_KIND = "cycles"
+FIDELITY_KIND = "fidelity"
 
 
 @dataclass(frozen=True)
@@ -192,6 +201,81 @@ class CycleStats:
     def counters_dict(self) -> dict[str, int]:
         """The activity counters as a plain mapping."""
         return dict(self.counters)
+
+
+@dataclass(frozen=True)
+class FidelityStats:
+    """One Monte-Carlo device-fidelity sample, as persisted in the cache.
+
+    Produced by the batched sampler (:mod:`repro.reram.batch`): the
+    arithmetic error of one design's representative crossbar read under
+    programming variation, stuck-at faults, retention drift at
+    ``time_s`` and ADC quantization, relative to the exact integer
+    column sums.  Error metrics are normalized by the mean absolute
+    exact sum, so they are comparable across designs and shapes.
+
+    Attributes:
+        design: canonical design name.
+        layer: label of the requesting job (relabelled on cache hits,
+            exactly like :class:`DesignMetrics`).
+        seed: Monte-Carlo seed of this sample.
+        time_s: retention time the array was read at, seconds.
+        rms_error: relative RMS readout error.
+        mean_abs_error: relative mean absolute readout error.
+        max_abs_error: relative worst-column readout error.
+        stuck_fraction: fraction of cells the fault pattern pinned.
+    """
+
+    design: str
+    layer: str
+    seed: int
+    time_s: float
+    rms_error: float
+    mean_abs_error: float
+    max_abs_error: float
+    stuck_fraction: float
+
+
+@dataclass(frozen=True)
+class FidelityJob:
+    """One (design, layer, technology, scenario, seed, time) fidelity draw.
+
+    The scenario knobs mirror the :class:`~repro.reram.noise.NoiseModel`
+    and :class:`~repro.reram.drift.DriftModel` parameters; ``adc_bits``
+    (``None`` = lossless) and the ``max_rows``/``max_cols`` caps shape
+    the representative crossbar the design's fidelity profile derives.
+    ``layer_name`` is a label, not a cache-key input, exactly like
+    :class:`DesignJob`.
+    """
+
+    design: str
+    spec: DeconvSpec
+    tech: TechnologyParams
+    seed: int = 0
+    time_s: float = 1.0
+    nu: float = 0.02
+    programming_sigma: float = 0.05
+    read_noise_sigma: float = 0.0
+    stuck_at_rate: float = 0.0
+    adc_bits: int | None = None
+    max_rows: int = 128
+    max_cols: int = 128
+    layer_name: str = ""
+
+
+#: FidelityJob fields that parameterize the sample (cache-key inputs,
+#: in key order; ``layer_name`` is deliberately absent).
+_FIDELITY_SCENARIO_FIELDS = (
+    "seed",
+    "time_s",
+    "nu",
+    "programming_sigma",
+    "read_noise_sigma",
+    "stuck_at_rate",
+    "adc_bits",
+    "max_rows",
+    "max_cols",
+)
 
 
 def job_key(job: DesignJob, kind: str = METRICS_KIND) -> str:
@@ -324,6 +408,95 @@ def job_keys(
     ]
 
 
+def fidelity_job_key(job: FidelityJob, kind: str = FIDELITY_KIND) -> str:
+    """Stable content hash of a fidelity job (labels excluded).
+
+    Field-by-field like :func:`job_key`: the design name is
+    canonicalized, every scenario knob, the spec and the technology ride
+    in the hash, and ``layer_name`` does not — identical samples share
+    one cached :class:`FidelityStats`.
+    """
+    parts = [
+        f"schema={CACHE_SCHEMA_VERSION}",
+        f"kind={kind}",
+        f"design={resolve_design(job.design)}",
+    ]
+    parts.extend(
+        f"{name}={getattr(job, name)!r}" for name in _FIDELITY_SCENARIO_FIELDS
+    )
+    for obj in (job.spec, job.tech):
+        parts.append(type(obj).__name__)
+        parts.extend(f"{f.name}={getattr(obj, f.name)!r}" for f in fields(obj))
+    return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
+
+
+def fidelity_job_keys(
+    jobs: Sequence[FidelityJob], kind: str = FIDELITY_KIND
+) -> list[str]:
+    """All fidelity cache keys in one batched pass.
+
+    Bit-for-bit equal to ``[fidelity_job_key(job, kind) for job in jobs]``
+    (property-tested in ``tests/eval/test_store.py``); the design
+    resolution, the spec segments (struct-of-arrays via
+    :func:`_spec_key_segments`) and the 30-field technology segment are
+    memoized exactly like :func:`job_keys`.
+    """
+    if not jobs:
+        return []
+    prefix = f"schema={CACHE_SCHEMA_VERSION}|kind={kind}|design="
+    canonical: dict[str, str] = {}
+    spec_by_id: dict[int, int] = {}
+    spec_slots: dict[DeconvSpec, int] = {}
+    unique_specs: list[DeconvSpec] = []
+    tech_by_id: dict[int, str] = {}
+    tech_by_value: dict[TechnologyParams, str] = {}
+    heads: list[str] = []
+    slots: list[int] = []
+    tech_segments: list[str] = []
+    for job in jobs:
+        name = canonical.get(job.design)
+        if name is None:
+            name = canonical[job.design] = resolve_design(job.design)
+        scenario = "|".join(
+            f"{field_name}={getattr(job, field_name)!r}"
+            for field_name in _FIDELITY_SCENARIO_FIELDS
+        )
+        heads.append(f"{prefix}{name}|{scenario}|")
+
+        spec = job.spec
+        slot = spec_by_id.get(id(spec))
+        if slot is None:
+            slot = spec_slots.get(spec)
+            if slot is None:
+                slot = spec_slots[spec] = len(unique_specs)
+                unique_specs.append(spec)
+            spec_by_id[id(spec)] = slot
+        slots.append(slot)
+
+        tech = job.tech
+        segment = tech_by_id.get(id(tech))
+        if segment is None:
+            segment = tech_by_value.get(tech)
+            if segment is None:
+                segment = tech_by_value[tech] = "|".join(
+                    (
+                        type(tech).__name__,
+                        *(
+                            f"{f.name}={getattr(tech, f.name)!r}"
+                            for f in fields(tech)
+                        ),
+                    )
+                )
+            tech_by_id[id(tech)] = segment
+        tech_segments.append(segment)
+    spec_segments = _spec_key_segments(unique_specs)
+    sha256 = hashlib.sha256
+    return [
+        sha256((head + spec_segments[slot] + tech).encode("utf-8")).hexdigest()
+        for head, slot, tech in zip(heads, slots, tech_segments)
+    ]
+
+
 def build_design_for_job(job: DesignJob) -> DeconvDesign:
     """Instantiate the accelerator design a job describes.
 
@@ -342,6 +515,7 @@ def evaluate_design_job(job: DesignJob) -> DesignMetrics:
 _KIND_PAYLOADS: dict[str, type] = {
     METRICS_KIND: DesignMetrics,
     CYCLES_KIND: CycleStats,
+    FIDELITY_KIND: FidelityStats,
 }
 
 #: What ``pickle.loads`` of a truncated/corrupt/shape-skewed entry can
@@ -762,3 +936,98 @@ def run_cycle_jobs(
             for index in indices:
                 results[index] = relabelled(stats, jobs[index].layer_name)
     return results
+
+
+def run_fidelity_jobs(
+    jobs: list[FidelityJob] | tuple[FidelityJob, ...],
+    cache: "SweepCache | PackedSweepStore | str | os.PathLike | None" = None,
+) -> list[FidelityStats]:
+    """Monte-Carlo fidelity companion to :func:`run_design_jobs`.
+
+    Evaluates every :class:`FidelityJob` through the batched
+    struct-of-arrays sampler (:func:`repro.reram.batch
+    .sample_fidelity_grid`): misses are grouped per
+    (design, spec, tech, scenario), the design's fidelity profile is
+    derived once per group, and all of a group's unique
+    ``(seed, time_s)`` points are drawn in one vectorized pass —
+    bit-identical to the scalar per-point oracle
+    (:func:`repro.reram.batch.fidelity_point`) and invariant to job
+    order and sharding, because every RNG stream is keyed by values,
+    never by batch position (``tests/reram/test_batch.py``).
+
+    Results persist under the ``"fidelity"`` cache kind with the same
+    batched probe/publish discipline as the other runners: the store is
+    touched at most twice, and each job's :func:`fidelity_job_key` is
+    computed exactly once.  Returns :class:`FidelityStats` in job order.
+    """
+    jobs = list(jobs)
+    cache = _coerce_cache(cache)
+    results: list[FidelityStats | None] = [None] * len(jobs)
+    keys: list[str] = []
+    pending: list[int] = []
+    if cache is not None:
+        keys = fidelity_job_keys(jobs)
+        for index, value in enumerate(cache.get_many(keys, kind=FIDELITY_KIND)):
+            if value is None:
+                pending.append(index)
+            else:
+                results[index] = relabelled(value, jobs[index].layer_name)
+    else:
+        pending = list(range(len(jobs)))
+    if pending:
+        from repro.reram.batch import profile_for_design, sample_fidelity_grid
+
+        tech_tokens = TechTokens()
+        canonical: dict[str, str] = {}
+        # Scenario groups: one profile derivation and one batched
+        # sampler call per (design, spec, tech, scenario); identical
+        # (seed, time) points inside a group compute once and fan out.
+        groups: dict[tuple, dict[tuple, list[int]]] = {}
+        for index in pending:
+            job = jobs[index]
+            name = canonical.get(job.design)
+            if name is None:
+                name = canonical[job.design] = resolve_design(job.design)
+            token = (
+                name,
+                job.spec,
+                tech_tokens.token(job.tech),
+                job.nu,
+                job.programming_sigma,
+                job.read_noise_sigma,
+                job.stuck_at_rate,
+                job.adc_bits,
+                job.max_rows,
+                job.max_cols,
+            )
+            groups.setdefault(token, {}).setdefault(
+                (job.seed, job.time_s), []
+            ).append(index)
+        published: dict[str, FidelityStats] = {}
+        for points in groups.values():
+            first = jobs[next(iter(points.values()))[0]]
+            profile = profile_for_design(
+                first.design,
+                first.spec,
+                first.tech,
+                adc_bits=first.adc_bits,
+                max_rows=first.max_rows,
+                max_cols=first.max_cols,
+            )
+            point_list = list(points)
+            stats = sample_fidelity_grid(
+                profile,
+                point_list,
+                nu=first.nu,
+                programming_sigma=first.programming_sigma,
+                read_noise_sigma=first.read_noise_sigma,
+                stuck_at_rate=first.stuck_at_rate,
+            )
+            for point, stat in zip(point_list, stats):
+                for index in points[point]:
+                    results[index] = relabelled(stat, jobs[index].layer_name)
+                    if cache is not None:
+                        published.setdefault(keys[index], stat)
+        if cache is not None and published:
+            cache.put_many(published.items(), kind=FIDELITY_KIND)
+    return results  # type: ignore[return-value]

@@ -16,6 +16,36 @@ share (paper Fig. 1):
 * :mod:`repro.reram.pipeline` — the composed bit-accurate VMM used by the
   accelerator designs; exactly reproduces integer matmul when the ADC has
   full resolution.
+* :mod:`repro.reram.drift` — power-law conductance retention drift.
+* :mod:`repro.reram.batch` — vectorized Monte-Carlo fidelity sampling
+  over (seed, time) grids, bit-identical to the scalar modules.
+
+Seeding contract
+----------------
+All randomness in this package derives from
+``np.random.SeedSequence`` spawning — there is no shared mutable
+generator state.  :class:`~repro.reram.noise.NoiseModel` derives one
+child generator per operation from ``SeedSequence(seed,
+spawn_key=(domain, stream))``, where the *domain* separates operation
+types (programming variation, stuck-at faults, read noise) and the
+*stream* separates operations within a type.  Consequences callers can
+rely on:
+
+* identical ``(seed, domain, stream)`` -> bit-identical draws, in any
+  process, at any point of any call sequence;
+* operations of one type never shift the draws of another (enabling
+  read noise cannot change a stuck-at pattern, and vice versa);
+* the write-verify programmer samples its stuck-at pattern **once** per
+  session and holds it fixed across verify rounds — defective cells
+  stay defective;
+* the batched fidelity sampler keys every stream by values (the seed,
+  the bit pattern of the time), so its results are independent of
+  batch order and sharding, and bit-identical to the scalar oracle.
+
+Callers that omit ``stream`` consume a per-model monotone counter per
+domain: repeated calls draw fresh (but reproducible) variates — the
+behaviour the crossbar pipeline wants for per-tile programming and
+per-read noise.
 """
 
 from repro.reram.device import ReRAMDeviceParams, conductance_grid
@@ -31,6 +61,13 @@ from repro.reram.shift_adder import ShiftAdder
 from repro.reram.noise import NoiseModel
 from repro.reram.program import WriteVerifyProgrammer, ProgramResult
 from repro.reram.pipeline import CrossbarPipeline, PipelineResult
+from repro.reram.drift import DriftModel
+from repro.reram.batch import (
+    FidelityProfile,
+    fidelity_point,
+    profile_for_design,
+    sample_fidelity_grid,
+)
 
 __all__ = [
     "ReRAMDeviceParams",
@@ -49,4 +86,9 @@ __all__ = [
     "ProgramResult",
     "CrossbarPipeline",
     "PipelineResult",
+    "DriftModel",
+    "FidelityProfile",
+    "fidelity_point",
+    "profile_for_design",
+    "sample_fidelity_grid",
 ]

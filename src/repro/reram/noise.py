@@ -5,10 +5,27 @@ deck); this module adds the standard degradation knobs so the reproduction
 can run sensitivity studies: programming variation (lognormal conductance
 perturbation), stuck-at faults, additive read noise, and a flag enabling
 the crossbar's first-order IR-drop model.
+
+Seeding contract
+----------------
+Every draw comes from a child generator derived as
+``default_rng(SeedSequence(seed, spawn_key=(domain, stream)))`` — never
+from shared mutable generator state.  The *domain* separates operation
+types (programming factors, stuck faults, read noise), so enabling or
+interleaving one kind of operation can never shift the draws of another;
+the *stream* separates operations within a domain.  Callers either pass
+``stream`` explicitly (same ``(seed, domain, stream)`` -> bit-identical
+array, regardless of process, batch order or call history) or leave it
+``None`` to consume the model's per-domain monotone counter (repeated
+calls differ, but the whole sequence is reproducible from ``seed``).
+The batched Monte-Carlo sampler (:mod:`repro.reram.batch`) and the
+write-verify programmer rely on explicit streams; the crossbar pipeline
+uses the counters.
 """
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -16,10 +33,29 @@ import numpy as np
 from repro.errors import ParameterError
 from repro.utils.validation import check_probability
 
+#: Spawn-key domains: one per operation type so draw streams never
+#: interleave across them (see the module docstring).
+PROGRAM_DOMAIN = 0
+STUCK_DOMAIN = 1
+READ_DOMAIN = 2
+
+
+def _as_stream(value, label: str) -> int:
+    """A validated non-negative int stream identifier."""
+    if isinstance(value, bool):
+        raise ParameterError(f"{label} must be an int, got {value!r}")
+    try:
+        value = operator.index(value)
+    except TypeError:
+        raise ParameterError(f"{label} must be an int, got {value!r}") from None
+    if value < 0:
+        raise ParameterError(f"{label} must be >= 0, got {value}")
+    return value
+
 
 @dataclass
 class NoiseModel:
-    """Configuration + RNG for crossbar non-idealities.
+    """Configuration + seeded RNG derivation for crossbar non-idealities.
 
     Attributes:
         programming_sigma: relative lognormal sigma of programmed
@@ -28,8 +64,9 @@ class NoiseModel:
             per-call RMS current (0 disables).
         stuck_at_rate: fraction of cells stuck at a random extreme level.
         ir_drop: enable the crossbar's first-order IR-drop attenuation.
-        seed: RNG seed; a fresh generator is derived per operation so
-            repeated calls are reproducible.
+        seed: non-negative root seed.  Each operation derives a fresh
+            child generator from ``SeedSequence(seed, spawn_key=(domain,
+            stream))`` — see the module docstring for the contract.
     """
 
     programming_sigma: float = 0.0
@@ -37,38 +74,114 @@ class NoiseModel:
     stuck_at_rate: float = 0.0
     ir_drop: bool = False
     seed: int = 0
-    _rng: np.random.Generator = field(init=False, repr=False)
+    _counters: dict = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.programming_sigma < 0 or self.read_noise_sigma < 0:
             raise ParameterError("noise sigmas must be non-negative")
         check_probability(self.stuck_at_rate, "stuck_at_rate")
-        self._rng = np.random.default_rng(self.seed)
+        self._counters = {PROGRAM_DOMAIN: 0, STUCK_DOMAIN: 0, READ_DOMAIN: 0}
 
-    def apply_programming(
-        self, conductance: np.ndarray, device: "ReRAMDeviceParams"
+    # ------------------------------------------------------------------
+    # Generator derivation
+    # ------------------------------------------------------------------
+    def _generator(self, domain: int, stream: int | None) -> np.random.Generator:
+        """The child generator for one ``(domain, stream)`` operation.
+
+        ``stream=None`` consumes (and advances) the domain's monotone
+        counter; an explicit stream leaves the counters untouched.
+        """
+        if stream is None:
+            stream = self._counters[domain]
+            self._counters[domain] = stream + 1
+        else:
+            stream = _as_stream(stream, "stream")
+        return np.random.default_rng(
+            np.random.SeedSequence(self.seed, spawn_key=(domain, stream))
+        )
+
+    # ------------------------------------------------------------------
+    # Primitive draws (used directly by the programmer and the batched
+    # fidelity sampler, composed by apply_programming below)
+    # ------------------------------------------------------------------
+    def programming_factors(
+        self, shape: tuple[int, ...], stream: int | None = None
     ) -> np.ndarray:
-        """Perturb programmed conductances; clip to the device window."""
+        """Lognormal conductance perturbation factors for one write op.
+
+        Returns all-ones without consuming a stream when
+        ``programming_sigma`` is 0, so the draw sequence is independent
+        of whether the knob is enabled.
+        """
+        if self.programming_sigma <= 0.0:
+            return np.ones(shape, dtype=np.float64)
+        return self._generator(PROGRAM_DOMAIN, stream).lognormal(
+            mean=0.0, sigma=self.programming_sigma, size=shape
+        )
+
+    def stuck_faults(
+        self,
+        shape: tuple[int, ...],
+        device: "ReRAMDeviceParams",
+        stream: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One sampled stuck-at fault pattern: ``(mask, extremes)``.
+
+        ``mask`` is boolean (True where the cell is defective) and
+        ``extremes`` holds the extreme conductance each defective cell is
+        pinned to (``g_min`` or ``g_max``; entries outside the mask are
+        meaningless).  No stream is consumed when ``stuck_at_rate`` is 0.
+        The pattern is a physical property of the array: callers that
+        model repeated writes (the write-verify programmer) must sample
+        it once and hold it fixed.
+        """
+        if self.stuck_at_rate <= 0.0:
+            return np.zeros(shape, dtype=bool), np.zeros(shape, dtype=np.float64)
+        rng = self._generator(STUCK_DOMAIN, stream)
+        mask = rng.random(shape) < self.stuck_at_rate
+        extremes = rng.choice([device.g_min, device.g_max], size=shape)
+        return mask, extremes
+
+    # ------------------------------------------------------------------
+    # Composite operations
+    # ------------------------------------------------------------------
+    def apply_programming(
+        self,
+        conductance: np.ndarray,
+        device: "ReRAMDeviceParams",
+        *,
+        stream: int | None = None,
+        stuck_stream: int | None = None,
+    ) -> np.ndarray:
+        """Perturb programmed conductances; clip to the device window.
+
+        ``stream`` keys the lognormal write variation, ``stuck_stream``
+        the stuck-at pattern; with both explicit the call is a pure
+        function of ``(seed, streams, input)``.
+        """
         g = conductance.astype(np.float64, copy=True)
         if self.programming_sigma > 0.0:
-            factor = self._rng.lognormal(
-                mean=0.0, sigma=self.programming_sigma, size=g.shape
-            )
-            g = g * factor
+            g = g * self.programming_factors(g.shape, stream)
         if self.stuck_at_rate > 0.0:
-            stuck = self._rng.random(g.shape) < self.stuck_at_rate
-            extremes = self._rng.choice(
-                [device.g_min, device.g_max], size=g.shape
-            )
-            g = np.where(stuck, extremes, g)
+            mask, extremes = self.stuck_faults(g.shape, device, stuck_stream)
+            g = np.where(mask, extremes, g)
         return np.clip(g, device.g_min, device.g_max)
 
-    def apply_read(self, currents: np.ndarray) -> np.ndarray:
-        """Add relative Gaussian read noise to column currents."""
+    def apply_read(
+        self, currents: np.ndarray, *, stream: int | None = None
+    ) -> np.ndarray:
+        """Add relative Gaussian read noise to column currents.
+
+        Empty inputs are returned unchanged (there is no RMS to scale
+        against), as are all inputs when ``read_noise_sigma`` is 0.
+        """
         if self.read_noise_sigma <= 0.0:
             return currents
+        currents = np.asarray(currents)
+        if currents.size == 0:
+            return currents
         rms = float(np.sqrt(np.mean(currents**2))) or 1e-12
-        return currents + self._rng.normal(
+        return currents + self._generator(READ_DOMAIN, stream).normal(
             0.0, self.read_noise_sigma * rms, size=currents.shape
         )
 

@@ -5,6 +5,14 @@ back, and re-pulse cells whose quantized level missed the target.  The
 model perturbs each attempt with the noise model's programming variation
 and reports convergence statistics — used by the endurance/variation
 sensitivity studies and to cost programming energy in the ablations.
+
+Stuck-at faults are a *physical* property of the array, not of a write
+attempt: the defect pattern is sampled once per session (from the noise
+model's dedicated fault stream) and held fixed across verify rounds, so
+a cell pinned to the wrong extreme re-pulses every round and is reported
+unconverged instead of "recovering" on a lucky re-roll.  Each round's
+write variation draws from its own stream, so a whole programming
+session is a pure function of ``(noise.seed, stream, target)``.
 """
 
 from __future__ import annotations
@@ -32,12 +40,15 @@ class ProgramResult:
         iterations: verify rounds executed.
         total_pulses: cumulative write pulses over all cells and rounds.
         converged_fraction: cells whose readback level matches the target.
+        stuck_cells: cells the sampled fault pattern pinned to an extreme
+            conductance (converged or not).
     """
 
     conductance: np.ndarray
     iterations: int
     total_pulses: int
     converged_fraction: float
+    stuck_cells: int = 0
 
 
 class WriteVerifyProgrammer:
@@ -61,20 +72,38 @@ class WriteVerifyProgrammer:
         self.noise = noise
         self.max_iterations = max_iterations
 
-    def program(self, target_digits: np.ndarray) -> ProgramResult:
-        """Program a digit matrix, returning conductances and statistics."""
+    def program(self, target_digits: np.ndarray, *, stream: int = 0) -> ProgramResult:
+        """Program a digit matrix, returning conductances and statistics.
+
+        ``stream`` namespaces the session's RNG streams, so distinct
+        sessions on one programmer can draw independent variation while
+        repeating a session reproduces it bit-for-bit.
+        """
         target = np.asarray(target_digits)
         if target.size == 0:
             raise DeviceError("cannot program an empty digit matrix")
         ideal = digits_to_conductance(target, self.device)
+        stuck_mask = None
+        stuck_extremes = None
+        if self.noise is not None and self.noise.stuck_at_rate > 0.0:
+            # Once per array: the defect pattern persists across rounds.
+            stuck_mask, stuck_extremes = self.noise.stuck_faults(
+                target.shape, self.device, stream=stream
+            )
         conductance = np.zeros_like(ideal)
         needs_write = np.ones(target.shape, dtype=bool)
         total_pulses = 0
         iterations = 0
         for iterations in range(1, self.max_iterations + 1):
-            attempts = ideal.copy()
-            if self.noise is not None:
-                attempts = self.noise.apply_programming(attempts, self.device)
+            if self.noise is not None and self.noise.programming_sigma > 0.0:
+                attempts = ideal * self.noise.programming_factors(
+                    target.shape, stream=stream * self.max_iterations + iterations - 1
+                )
+            else:
+                attempts = ideal.copy()
+            if stuck_mask is not None:
+                attempts = np.where(stuck_mask, stuck_extremes, attempts)
+            attempts = np.clip(attempts, self.device.g_min, self.device.g_max)
             conductance = np.where(needs_write, attempts, conductance)
             total_pulses += int(needs_write.sum())
             readback = conductance_to_digits(conductance, self.device)
@@ -87,4 +116,5 @@ class WriteVerifyProgrammer:
             iterations=iterations,
             total_pulses=total_pulses,
             converged_fraction=converged,
+            stuck_cells=0 if stuck_mask is None else int(stuck_mask.sum()),
         )

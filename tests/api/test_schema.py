@@ -16,6 +16,9 @@ from repro.api.schema import (
     CommandPayload,
     EvaluationRequest,
     EvaluationResult,
+    FidelityPoint,
+    FidelityRequest,
+    FidelityResult,
     NetworkDesignSummary,
     NetworkRequest,
     NetworkResult,
@@ -218,6 +221,63 @@ def network_results(draw):
     )
 
 
+positive_times = st.lists(
+    st.floats(min_value=1e-3, max_value=1e9, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=4,
+).map(tuple)
+
+fidelity_requests = st.one_of(
+    st.builds(
+        FidelityRequest,
+        layer=st.sampled_from(layer_names()),
+        designs=st.lists(
+            st.sampled_from(("RED", "zp", "padding-free")), max_size=3
+        ).map(tuple),
+        seeds=st.lists(st.integers(0, 2**31), min_size=1, max_size=4).map(tuple),
+        times=positive_times,
+        programming_sigma=finite,
+        read_noise_sigma=finite,
+        stuck_at_rate=st.floats(0.0, 1.0, allow_nan=False),
+        adc_bits=st.one_of(st.none(), st.integers(1, 12)),
+        tech_overrides=overrides,
+        layer_name=st.one_of(st.just(""), names),
+    ),
+    st.builds(
+        FidelityRequest,
+        spec=specs(),
+        seeds=st.lists(st.integers(0, 2**31), min_size=1, max_size=4).map(tuple),
+        times=positive_times,
+        max_rows=st.integers(1, 256),
+        max_cols=st.integers(1, 256),
+    ),
+)
+
+
+@st.composite
+def fidelity_results(draw):
+    design_names = draw(st.lists(names, min_size=1, max_size=3, unique=True))
+    points = tuple(
+        FidelityPoint(
+            design=design,
+            seed=draw(st.integers(0, 2**31)),
+            time_s=draw(st.floats(1e-3, 1e9, allow_nan=False)),
+            rms_error=draw(finite),
+            mean_abs_error=draw(finite),
+            max_abs_error=draw(finite),
+            stuck_fraction=draw(st.floats(0.0, 1.0, allow_nan=False)),
+        )
+        for design in design_names
+        for _ in range(draw(st.integers(0, 2)))
+    )
+    return FidelityResult(
+        layer=draw(names),
+        designs=tuple(design_names),
+        energy_j=tuple(draw(finite) for _ in design_names),
+        points=points,
+    )
+
+
 command_payloads = st.builds(
     CommandPayload,
     command=names,
@@ -237,6 +297,8 @@ all_payloads = st.one_of(
     sweep_results,
     network_requests,
     network_results(),
+    fidelity_requests,
+    fidelity_results(),
     command_payloads,
 )
 
@@ -263,7 +325,8 @@ class TestRoundTrip:
         assert wire["schema_version"] == SCHEMA_VERSION
         assert wire["kind"] in (
             "evaluation_request", "evaluation_result", "sweep_request",
-            "sweep_result", "network_request", "network_result", "command_result",
+            "sweep_result", "network_request", "network_result",
+            "fidelity_request", "fidelity_result", "command_result",
         )
         json.dumps(wire)  # must not raise
 
@@ -343,3 +406,63 @@ class TestStrictValidation:
     def test_mismatched_metrics_length_rejected(self):
         with pytest.raises(SchemaError, match="metrics"):
             EvaluationResult(layer="L", designs=("a", "b"), metrics=())
+
+
+class TestFidelityValidation:
+    def test_layer_and_spec_both_set_rejected(self):
+        with pytest.raises(SchemaError, match="exactly one"):
+            FidelityRequest(
+                layer="GAN_Deconv1",
+                spec=DeconvSpec(4, 4, 2, 3, 3, 2, stride=2, padding=1),
+            )
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(SchemaError, match="seeds"):
+            FidelityRequest(layer="GAN_Deconv1", seeds=())
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(SchemaError, match="seeds"):
+            FidelityRequest(layer="GAN_Deconv1", seeds=(0, -1))
+
+    def test_non_positive_time_rejected(self):
+        with pytest.raises(SchemaError, match="times"):
+            FidelityRequest(layer="GAN_Deconv1", times=(1.0, 0.0))
+
+    def test_stuck_rate_above_one_rejected(self):
+        with pytest.raises(SchemaError, match="stuck_at_rate"):
+            FidelityRequest(layer="GAN_Deconv1", stuck_at_rate=1.5)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(SchemaError, match="programming_sigma"):
+            FidelityRequest(layer="GAN_Deconv1", programming_sigma=-0.1)
+
+    def test_bool_adc_bits_rejected(self):
+        with pytest.raises(SchemaError, match="adc_bits"):
+            FidelityRequest(layer="GAN_Deconv1", adc_bits=True)
+
+    def test_zero_max_rows_rejected(self):
+        with pytest.raises(SchemaError, match="max_rows"):
+            FidelityRequest(layer="GAN_Deconv1", max_rows=0)
+
+    def test_seeds_and_times_normalized(self):
+        request = FidelityRequest(layer="GAN_Deconv1", seeds=[2, 3], times=[60, 3600])
+        assert request.seeds == (2, 3)
+        assert request.times == (60.0, 3600.0)
+        assert all(isinstance(t, float) for t in request.times)
+
+    def test_mismatched_energy_length_rejected(self):
+        with pytest.raises(SchemaError, match="energies"):
+            FidelityResult(layer="L", designs=("a", "b"), energy_j=(1.0,), points=())
+
+    def test_points_for_unknown_design_rejected(self):
+        result = FidelityResult(layer="L", designs=("a",), energy_j=(1.0,), points=())
+        with pytest.raises(KeyError):
+            result.points_for("b")
+        with pytest.raises(KeyError):
+            result.energy_for("b")
+
+    def test_fidelity_request_unknown_key_rejected(self):
+        wire = FidelityRequest(layer="GAN_Deconv1").to_dict()
+        wire["surprise"] = 1
+        with pytest.raises(SchemaError, match="surprise"):
+            FidelityRequest.from_dict(wire)

@@ -7,10 +7,13 @@ import pytest
 from repro.api.schema import (
     EvaluationRequest,
     EvaluationResult,
+    FidelityRequest,
+    FidelityResult,
     NetworkRequest,
     NetworkResult,
     SweepRequest,
     SweepResult,
+    payload_from_dict,
 )
 from repro.api.service import RedService
 from repro.arch.tech import default_tech
@@ -182,6 +185,68 @@ class TestNetwork:
             full.summary_for("RED").speedup
         )
         assert result.summary_for("RED").speedup > 1.0
+
+
+class TestFidelity:
+    REQUEST = FidelityRequest(
+        spec=SPEC,
+        seeds=(0, 1),
+        times=(1.0, 3600.0),
+        programming_sigma=0.08,
+        read_noise_sigma=0.02,
+        stuck_at_rate=0.01,
+        layer_name="mine",
+    )
+
+    def test_matches_direct_sampling(self, service):
+        from repro.reram.batch import fidelity_point, profile_for_design
+
+        result = service.fidelity_sweep(self.REQUEST)
+        assert result.layer == "mine"
+        assert result.designs == ("zero-padding", "padding-free", "RED")
+        assert len(result.points) == len(result.designs) * 2 * 2
+        profile = profile_for_design("RED", SPEC)
+        direct = fidelity_point(
+            profile, 1, 3600.0,
+            programming_sigma=0.08, read_noise_sigma=0.02, stuck_at_rate=0.01,
+        )
+        point = [
+            p for p in result.points_for("RED") if p.seed == 1 and p.time_s == 3600.0
+        ]
+        assert len(point) == 1
+        assert point[0].rms_error == direct.rms_error
+        assert point[0].stuck_fraction == direct.stuck_fraction
+
+    def test_energy_axis_matches_evaluation(self, service):
+        result = service.fidelity_sweep(self.REQUEST)
+        evaluated = service.evaluate(EvaluationRequest(spec=SPEC))
+        for design in result.designs:
+            assert result.energy_for(design) == (
+                evaluated.metrics_for(design).energy.total
+            )
+
+    def test_round_trips_through_the_wire(self, service):
+        result = service.fidelity_sweep(self.REQUEST)
+        assert payload_from_dict(result.to_dict()) == result
+        assert payload_from_dict(self.REQUEST.to_dict()) == self.REQUEST
+
+    def test_submit_dispatches_fidelity_requests(self, service):
+        direct = service.fidelity_sweep(self.REQUEST)
+        [gathered] = service.gather([service.submit(self.REQUEST)])
+        assert isinstance(gathered, FidelityResult)
+        assert gathered == direct
+
+    def test_cached_and_uncached_results_identical(self, tmp_path):
+        with RedService(cache=PackedSweepStore(tmp_path / "fid")) as cached:
+            cold = cached.fidelity_sweep(self.REQUEST)
+            warm = cached.fidelity_sweep(self.REQUEST)
+        with RedService() as plain:
+            uncached = plain.fidelity_sweep(self.REQUEST)
+        assert pickle.dumps(cold) == pickle.dumps(warm) == pickle.dumps(uncached)
+
+    def test_wrong_request_type_rejected(self, service):
+        with pytest.raises(SchemaError):
+            service.fidelity_sweep(EvaluationRequest(spec=SPEC))
 
 
 class TestConcurrency:

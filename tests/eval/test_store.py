@@ -26,11 +26,15 @@ from repro.deconv.shapes import DeconvSpec
 from repro.errors import CacheError, ParameterError
 from repro.eval.parallel import (
     CYCLES_KIND,
+    FIDELITY_KIND,
     METRICS_KIND,
     CycleStats,
     DesignJob,
+    FidelityJob,
+    FidelityStats,
     SweepCache,
     evaluate_design_job,
+    fidelity_job_keys,
     job_key,
     job_keys,
     run_cycle_jobs,
@@ -118,6 +122,53 @@ class TestJobKeysBatched:
         a, b = make_job(fold=2), make_job(fold=2.0)
         assert job_keys([a, b]) == [job_key(a), job_key(b)]
         assert job_key(a) != job_key(b)
+
+
+class TestFidelityKind:
+    def fidelity_payload(self, token: int, layer: str = "L") -> FidelityStats:
+        return FidelityStats(
+            design="RED", layer=layer, seed=token, time_s=1.0,
+            rms_error=0.1 * token, mean_abs_error=0.0, max_abs_error=0.0,
+            stuck_fraction=0.0,
+        )
+
+    def test_put_many_get_many_round_trip(self, tmp_path):
+        store = PackedSweepStore(tmp_path)
+        entries = [(synthetic_key(i), self.fidelity_payload(i)) for i in range(5)]
+        assert store.put_many(entries, kind=FIDELITY_KIND) == 5
+        values = store.get_many([k for k, _ in entries], kind=FIDELITY_KIND)
+        assert values == [payload for _, payload in entries]
+        fresh = PackedSweepStore(tmp_path)
+        assert fresh.get_many(
+            [k for k, _ in entries], kind=FIDELITY_KIND
+        ) == values
+
+    def test_wrong_payload_type_rejected(self, tmp_path):
+        store = PackedSweepStore(tmp_path)
+        with pytest.raises(TypeError):
+            store.put_many(
+                [(synthetic_key(0), stats_payload(0))], kind=FIDELITY_KIND
+            )
+        with pytest.raises(TypeError):
+            store.put_many(
+                [(synthetic_key(0), self.fidelity_payload(0))], kind=CYCLES_KIND
+            )
+
+    @given(job_lists())
+    @settings(
+        max_examples=20, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_fidelity_keys_never_collide_with_other_kinds(self, jobs):
+        fidelity = [
+            FidelityJob(
+                design=job.design, spec=job.spec, tech=job.tech,
+                layer_name=job.layer_name,
+            )
+            for job in jobs
+        ]
+        other = set(job_keys(jobs, METRICS_KIND)) | set(job_keys(jobs, CYCLES_KIND))
+        assert not other & set(fidelity_job_keys(fidelity))
 
 
 # ----------------------------------------------------------------------

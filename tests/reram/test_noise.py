@@ -47,3 +47,82 @@ class TestNoiseModel:
     def test_negative_sigma_rejected(self):
         with pytest.raises(ParameterError):
             NoiseModel(programming_sigma=-0.1)
+
+
+class TestSeedingContract:
+    """The SeedSequence-spawn seeding contract (see repro/reram/__init__.py)."""
+
+    def test_explicit_stream_is_a_pure_function_of_seed(self, rng):
+        device = ReRAMDeviceParams()
+        g = rng.uniform(device.g_min, device.g_max, size=(8, 8))
+        model = NoiseModel(programming_sigma=0.1, seed=5)
+        a = model.apply_programming(g, device, stream=3)
+        b = model.apply_programming(g, device, stream=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_counter_sequence_reproducible_across_instances(self, rng):
+        device = ReRAMDeviceParams()
+        g = rng.uniform(device.g_min, device.g_max, size=(8, 8))
+        first = NoiseModel(programming_sigma=0.1, seed=9)
+        second = NoiseModel(programming_sigma=0.1, seed=9)
+        for _ in range(3):
+            np.testing.assert_array_equal(
+                first.apply_programming(g, device),
+                second.apply_programming(g, device),
+            )
+
+    def test_counter_calls_draw_fresh_variates(self, rng):
+        device = ReRAMDeviceParams()
+        g = rng.uniform(device.g_min, device.g_max, size=(8, 8))
+        model = NoiseModel(programming_sigma=0.1, seed=9)
+        assert not np.array_equal(
+            model.apply_programming(g, device), model.apply_programming(g, device)
+        )
+
+    def test_domains_do_not_interfere(self, rng):
+        """Interleaved reads must not shift the programming draws."""
+        device = ReRAMDeviceParams()
+        g = rng.uniform(device.g_min, device.g_max, size=(8, 8))
+        currents = rng.uniform(1e-6, 1e-5, size=(16,))
+        plain = NoiseModel(programming_sigma=0.1, read_noise_sigma=0.05, seed=4)
+        interleaved = NoiseModel(programming_sigma=0.1, read_noise_sigma=0.05, seed=4)
+        a = plain.apply_programming(g, device)
+        interleaved.apply_read(currents)
+        b = interleaved.apply_programming(g, device)
+        np.testing.assert_array_equal(a, b)
+
+    def test_stuck_pattern_independent_of_programming_sigma(self, rng):
+        device = ReRAMDeviceParams()
+        noisy = NoiseModel(programming_sigma=0.3, stuck_at_rate=0.1, seed=11)
+        clean = NoiseModel(stuck_at_rate=0.1, seed=11)
+        mask_noisy, ext_noisy = noisy.stuck_faults((32, 32), device, stream=0)
+        mask_clean, ext_clean = clean.stuck_faults((32, 32), device, stream=0)
+        np.testing.assert_array_equal(mask_noisy, mask_clean)
+        np.testing.assert_array_equal(ext_noisy, ext_clean)
+
+    def test_negative_stream_rejected(self):
+        model = NoiseModel(programming_sigma=0.1, seed=0)
+        with pytest.raises(ParameterError):
+            model.programming_factors((2, 2), stream=-1)
+
+    def test_bool_stream_rejected(self):
+        model = NoiseModel(programming_sigma=0.1, seed=0)
+        with pytest.raises(ParameterError):
+            model.programming_factors((2, 2), stream=True)
+
+
+class TestEmptyReadGuard:
+    def test_empty_input_returned_unchanged(self):
+        model = NoiseModel(read_noise_sigma=0.1, seed=0)
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # np.mean([]) would warn then NaN
+            out = model.apply_read(np.zeros((0,)))
+        assert out.shape == (0,)
+        assert not np.isnan(out).any()
+
+    def test_empty_2d_input(self):
+        model = NoiseModel(read_noise_sigma=0.1, seed=0)
+        out = model.apply_read(np.zeros((4, 0)))
+        assert out.shape == (4, 0)

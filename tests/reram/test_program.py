@@ -43,3 +43,52 @@ class TestProgramming:
     def test_empty_target_rejected(self):
         with pytest.raises(DeviceError):
             WriteVerifyProgrammer().program(np.zeros((0, 4), dtype=int))
+
+
+class TestStuckFaults:
+    def test_stuck_pattern_fixed_across_verify_rounds(self, rng):
+        """A stuck cell pinned to the wrong extreme never reports converged."""
+        prog = WriteVerifyProgrammer(
+            noise=NoiseModel(stuck_at_rate=0.05, seed=13), max_iterations=8
+        )
+        device = prog.device
+        # Every target sits mid-window, so a cell stuck at either extreme
+        # can never read back its target digit.
+        target = np.full((32, 32), device.num_levels // 2)
+        result = prog.program(target)
+        assert result.stuck_cells > 0
+        # The programmer kept retrying the stuck cells to the bitter end...
+        assert result.iterations == prog.max_iterations
+        # ...and reported exactly the healthy fraction as converged.
+        expected = 1.0 - result.stuck_cells / target.size
+        assert result.converged_fraction == pytest.approx(expected)
+        # Readback is wrong at every stuck position.
+        readback = conductance_to_digits(result.conductance, device)
+        stuck_positions = readback != target
+        assert stuck_positions.sum() == result.stuck_cells
+
+    def test_program_is_deterministic(self, rng):
+        prog = WriteVerifyProgrammer(
+            noise=NoiseModel(programming_sigma=0.1, stuck_at_rate=0.02, seed=5)
+        )
+        target = rng.integers(0, 4, size=(16, 16))
+        a = prog.program(target)
+        b = prog.program(target)
+        np.testing.assert_array_equal(a.conductance, b.conductance)
+        assert a.iterations == b.iterations
+        assert a.total_pulses == b.total_pulses
+        assert a.converged_fraction == b.converged_fraction
+        assert a.stuck_cells == b.stuck_cells
+
+    def test_distinct_streams_give_distinct_sessions(self, rng):
+        prog = WriteVerifyProgrammer(
+            noise=NoiseModel(programming_sigma=0.2, seed=5)
+        )
+        target = rng.integers(0, 4, size=(16, 16))
+        a = prog.program(target, stream=0)
+        b = prog.program(target, stream=1)
+        assert not np.array_equal(a.conductance, b.conductance)
+
+    def test_no_noise_reports_zero_stuck_cells(self, rng):
+        result = WriteVerifyProgrammer().program(rng.integers(0, 4, size=(8, 8)))
+        assert result.stuck_cells == 0
