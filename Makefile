@@ -15,8 +15,10 @@ test:
 	python -m pytest -x -q
 
 # Byte-compiles every tree (catches syntax errors even without ruff
-# installed), then runs ruff's undefined-name/syntax gate when available
-# (CI always installs it; see ruff.toml for the selected rules).
+# installed), runs ruff's pyflakes/isort gate when available (CI always
+# installs it; see ruff.toml for the selected rules), then runs the
+# pure-stdlib substrate contract linter (src/repro/analysis/README.md)
+# — that one runs even without ruff.
 lint:
 	python -m compileall -q src tests benchmarks examples
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -24,6 +26,7 @@ lint:
 	else \
 		echo "ruff not installed; skipped ruff check (ran compileall only)"; \
 	fi
+	python -m repro.analysis src benchmarks examples
 
 bench-smoke:
 	RED_BENCH_QUICK=1 python -m pytest benchmarks/bench_batch_engine.py benchmarks/bench_cycle_compile.py benchmarks/bench_sweep_vectorized.py benchmarks/bench_cache_plane.py benchmarks/bench_device_plane.py -q

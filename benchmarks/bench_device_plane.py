@@ -44,8 +44,8 @@ import statistics
 import time
 
 from benchmarks.conftest import emit
-from repro.deconv.shapes import DeconvSpec
 from repro.api.registry import available_designs
+from repro.deconv.shapes import DeconvSpec
 from repro.reram.batch import fidelity_point, profile_for_design, sample_fidelity_grid
 from repro.utils.formatting import render_ascii_table
 

@@ -14,7 +14,7 @@ Usage::
 import numpy as np
 
 from repro import PaddingFreeDesign, REDDesign, ZeroPaddingDesign, conv_transpose2d
-from repro.utils.formatting import format_joules, format_ratio, format_seconds, render_ascii_table
+from repro.utils.formatting import format_ratio, format_seconds, render_ascii_table
 from repro.workloads.networks import FCN8sDecoder
 from repro.workloads.specs import get_layer
 
@@ -50,6 +50,7 @@ def main() -> None:
                 f"stride {layer.spec.stride}",
                 f"{red_design.num_physical_scs} SCs (fold {red_design.fold})",
                 format_seconds(base.latency.total),
+                format_seconds(pf.latency.total),
                 format_seconds(red.latency.total),
                 format_ratio(red.speedup_over(base)),
                 f"{red.energy_saving_over(base) * 100:.1f}%",
@@ -58,8 +59,8 @@ def main() -> None:
     print(
         render_ascii_table(
             (
-                "layer", "config", "RED mapping",
-                "zero-padding latency", "RED latency", "speedup", "energy saving",
+                "layer", "config", "RED mapping", "zero-padding latency",
+                "padding-free latency", "RED latency", "speedup", "energy saving",
             ),
             rows,
             title="FCN up-sampling layers (Table I rows 5-6)",

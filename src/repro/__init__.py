@@ -13,8 +13,9 @@ Quickstart::
     from repro import DeconvSpec, REDDesign, conv_transpose2d
 
     spec = DeconvSpec(4, 4, 8, 4, 4, 5, stride=2, padding=1)
-    x = np.random.rand(*spec.input_shape)
-    w = np.random.rand(*spec.kernel_shape)
+    rng = np.random.default_rng(0)
+    x = rng.random(spec.input_shape)
+    w = rng.random(spec.kernel_shape)
     run = REDDesign(spec).run_functional(x, w)
     assert np.allclose(run.output, conv_transpose2d(x, w, spec))
     print(REDDesign(spec).evaluate("demo").latency.total)
@@ -23,24 +24,6 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured comparison.
 """
 
-from repro.deconv import (
-    DeconvSpec,
-    conv_transpose2d,
-    zero_padding_deconv,
-    padding_free_deconv,
-    padded_zero_fraction,
-)
-from repro.designs import ZeroPaddingDesign, PaddingFreeDesign, DeconvDesign, FunctionalRun
-from repro.core import (
-    REDDesign,
-    build_sct,
-    SubCrossbarTensor,
-    ZeroSkippingSchedule,
-    explore_fold_tradeoff,
-)
-from repro.arch import TechnologyParams, default_tech, DesignMetrics
-from repro.workloads import TABLE_I_LAYERS, get_layer
-from repro.eval import run_grid, full_report
 from repro.api import (
     EvaluationRequest,
     EvaluationResult,
@@ -52,6 +35,24 @@ from repro.api import (
     available_designs,
     register_design,
 )
+from repro.arch import DesignMetrics, TechnologyParams, default_tech
+from repro.core import (
+    REDDesign,
+    SubCrossbarTensor,
+    ZeroSkippingSchedule,
+    build_sct,
+    explore_fold_tradeoff,
+)
+from repro.deconv import (
+    DeconvSpec,
+    conv_transpose2d,
+    padded_zero_fraction,
+    padding_free_deconv,
+    zero_padding_deconv,
+)
+from repro.designs import DeconvDesign, FunctionalRun, PaddingFreeDesign, ZeroPaddingDesign
+from repro.eval import full_report, run_grid
+from repro.workloads import TABLE_I_LAYERS, get_layer
 
 __version__ = "1.1.0"
 

@@ -1,0 +1,113 @@
+"""RED006: no ambient nondeterminism in cache-keyed or evaluation paths.
+
+Cache keys are SHA-256 digests over canonical job fields
+(``repro.eval.parallel.job_keys``); evaluation results are pure
+functions of ``(design, spec, tech, fold, seed)``.  A wall-clock or
+entropy read anywhere in those paths breaks the two properties the
+whole substrate is tested on — byte-identical cold/warm cache routes
+and cross-process reproducibility.  Inside the evaluation subpackages
+(``eval``, ``sim``, ``arch``, ``reram``, ``api``, ``core``, ``deconv``,
+``system``, ``designs``), calls to:
+
+* ``time.time`` / ``time.time_ns`` / ``time.monotonic`` /
+  ``time.perf_counter`` (wall-clock reads — retention *times* are
+  explicit request parameters, never "now"),
+* ``datetime.now`` / ``datetime.utcnow`` / ``datetime.today`` /
+  ``date.today``,
+* ``os.urandom`` / ``uuid.uuid1`` / ``uuid.uuid4`` and the ``secrets``
+  module (entropy reads — seeds arrive via requests)
+
+are findings.  Benchmarks time wall-clock by definition and are out of
+scope, as is the CLI shell.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleSource, Rule
+
+#: repro subpackages whose modules feed cache keys or evaluations.
+DETERMINISTIC_SUBPACKAGES = frozenset(
+    {"eval", "sim", "arch", "reram", "api", "core", "deconv", "system", "designs"}
+)
+
+#: ``(receiver, method)`` attribute calls that read clocks or entropy.
+FORBIDDEN_ATTR_CALLS = frozenset(
+    {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("time", "monotonic"),
+        ("time", "monotonic_ns"),
+        ("time", "perf_counter"),
+        ("time", "perf_counter_ns"),
+        ("datetime", "now"),
+        ("datetime", "utcnow"),
+        ("datetime", "today"),
+        ("date", "today"),
+        ("os", "urandom"),
+        ("uuid", "uuid1"),
+        ("uuid", "uuid4"),
+        ("secrets", "token_bytes"),
+        ("secrets", "token_hex"),
+        ("secrets", "token_urlsafe"),
+        ("secrets", "randbelow"),
+        ("secrets", "choice"),
+    }
+)
+
+#: Bare names that are clock/entropy reads when imported directly.
+FORBIDDEN_BARE_CALLS = frozenset(
+    {"time_ns", "monotonic", "perf_counter", "urandom", "uuid1", "uuid4"}
+)
+
+
+class NondeterminismRule(Rule):
+    rule_id = "RED006"
+    summary = (
+        "no wall-clock or entropy reads in cache-keyed/evaluation paths; "
+        "timestamps and seeds are explicit request parameters"
+    )
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        parts = module.module_parts
+        return (
+            len(parts) >= 2
+            and parts[0] == "repro"
+            and parts[1] in DETERMINISTIC_SUBPACKAGES
+        )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        tree = module.tree
+        assert tree is not None
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = node.func
+            if isinstance(target, ast.Attribute):
+                receiver = target.value
+                receiver_name = (
+                    receiver.id
+                    if isinstance(receiver, ast.Name)
+                    else receiver.attr
+                    if isinstance(receiver, ast.Attribute)
+                    else ""
+                )
+                key = (receiver_name, target.attr)
+                if key in FORBIDDEN_ATTR_CALLS:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{receiver_name}.{target.attr}() reads ambient "
+                        "clock/entropy in a deterministic path; thread the "
+                        "value through the request/job instead",
+                    )
+            elif isinstance(target, ast.Name) and target.id in FORBIDDEN_BARE_CALLS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{target.id}() reads ambient clock/entropy in a "
+                    "deterministic path; thread the value through the "
+                    "request/job instead",
+                )

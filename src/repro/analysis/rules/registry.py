@@ -1,0 +1,167 @@
+"""RED003: registry-only design dispatch (established in PR 2).
+
+The registry (``repro.api.registry``) is the *only* name-to-design
+dispatch: a design registered there appears in every sweep, figure and
+cache key with no other edits — and a design class that is *not*
+registered silently falls out of all of them.  Two checks:
+
+* every concrete ``DeconvDesign`` subclass (one that overrides
+  ``perf_input`` without ``@abstractmethod``) must be referenced from a
+  module that calls ``register_design`` — i.e. some registered factory
+  builds it.  (Standalone performance models that do not subclass
+  ``DeconvDesign`` — the convolution reference design — are outside
+  the deconv registry by construction and out of scope here.);
+* inside ``repro.api.registry`` itself, the keyword surface of
+  ``register_design`` must stay in sync with the ``DesignEntry``
+  hook fields — adding a hook to one without the other would let
+  registrations silently drop it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleSource, Rule
+
+REGISTRY_MODULE = ("repro", "api", "registry")
+
+#: Base-class names that mark a class as a registrable design.
+DESIGN_BASES = frozenset({"DeconvDesign"})
+
+#: DesignEntry fields that are not register_design keywords by design.
+ENTRY_ONLY_FIELDS = frozenset({"name", "factory"})
+
+
+def _base_names(node: ast.ClassDef) -> set[str]:
+    names = set()
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.add(base.attr)
+    return names
+
+
+def _has_abstract_perf_input(func: ast.FunctionDef) -> bool:
+    for decorator in func.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = target.attr if isinstance(target, ast.Attribute) else (
+            target.id if isinstance(target, ast.Name) else ""
+        )
+        if name == "abstractmethod":
+            return True
+    return False
+
+
+class RegistryRule(Rule):
+    rule_id = "RED003"
+    summary = (
+        "concrete design classes are register_design-registered and the "
+        "DesignEntry hook surface stays in sync"
+    )
+
+    def __init__(self) -> None:
+        #: (class name, module, node) of concrete design subclasses.
+        self._design_classes: list[tuple[str, ModuleSource, ast.ClassDef]] = []
+        #: Identifiers referenced anywhere inside registering modules.
+        self._registered_references: set[str] = set()
+        self._saw_registering_module = False
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return module.module_parts[:1] == ("repro",)
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        tree = module.tree
+        assert tree is not None
+
+        calls_register = False
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                target = node.func
+                name = target.attr if isinstance(target, ast.Attribute) else (
+                    target.id if isinstance(target, ast.Name) else ""
+                )
+                if name == "register_design":
+                    calls_register = True
+        if calls_register:
+            self._saw_registering_module = True
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Name):
+                    self._registered_references.add(node.id)
+                elif isinstance(node, ast.Attribute):
+                    self._registered_references.add(node.attr)
+
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not (_base_names(node) & DESIGN_BASES):
+                continue
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef) and item.name == "perf_input":
+                    if not _has_abstract_perf_input(item):
+                        self._design_classes.append((node.name, module, node))
+                    break
+
+        if module.module_parts == REGISTRY_MODULE:
+            yield from self._check_hook_sync(module, tree)
+
+    def finalize(self) -> Iterator[Finding]:
+        if not self._saw_registering_module:
+            # Analyzing a subtree without the registry; coverage cannot
+            # be judged, so stay silent rather than flag everything.
+            return
+        for name, module, node in self._design_classes:
+            if name not in self._registered_references:
+                yield self.finding(
+                    module,
+                    node,
+                    f"design class {name} defines perf_input but no "
+                    "register_design-ing module references it; unregistered "
+                    "designs fall out of every sweep, figure and cache key",
+                )
+
+    # ------------------------------------------------------------------
+    # DesignEntry <-> register_design keyword sync
+    # ------------------------------------------------------------------
+    def _check_hook_sync(
+        self, module: ModuleSource, tree: ast.Module
+    ) -> Iterator[Finding]:
+        entry_fields: set[str] = set()
+        entry_node: ast.ClassDef | None = None
+        register_kwargs: set[str] = set()
+        register_node: ast.FunctionDef | None = None
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef) and node.name == "DesignEntry":
+                entry_node = node
+                for item in node.body:
+                    if isinstance(item, ast.AnnAssign) and isinstance(
+                        item.target, ast.Name
+                    ):
+                        entry_fields.add(item.target.id)
+            elif isinstance(node, ast.FunctionDef) and node.name == "register_design":
+                register_node = node
+                register_kwargs = {a.arg for a in node.args.kwonlyargs}
+        if entry_node is None or register_node is None:
+            yield self.finding(
+                module,
+                tree.body[0] if tree.body else None,
+                "registry module must define both DesignEntry and "
+                "register_design",
+            )
+            return
+        hooks = entry_fields - ENTRY_ONLY_FIELDS
+        for missing in sorted(hooks - register_kwargs):
+            yield self.finding(
+                module,
+                entry_node,
+                f"DesignEntry field {missing!r} is not a register_design "
+                "keyword; registrations cannot populate it",
+            )
+        for orphan in sorted(register_kwargs - hooks):
+            yield self.finding(
+                module,
+                register_node,
+                f"register_design keyword {orphan!r} has no DesignEntry "
+                "field; the value would be dropped",
+            )

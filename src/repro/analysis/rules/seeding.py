@@ -1,0 +1,268 @@
+"""RED001: the SeedSequence seeding contract (established in PR 6).
+
+All library randomness must be reproducible from an explicit seed:
+
+* the legacy global-state samplers (``np.random.rand`` and friends, the
+  stdlib ``random`` module) are banned everywhere, including inside
+  docstring examples — an unseeded demo is a nondeterministic demo;
+* ``default_rng()`` must never be called unseeded;
+* inside the service tier (``repro.api``) generators are never
+  constructed at all — requests carry seeds, and the library entry
+  point that consumes the seed owns the seed-to-generator mapping;
+* elsewhere in the library, ``default_rng(...)`` must derive from a
+  :class:`~numpy.random.SeedSequence` spawn, from an injected
+  seed parameter, or appear as the ``rng = rng or default_rng(0)``
+  default idiom of a function accepting an ``rng=`` argument.
+  (Benchmarks and examples may seed literally — a constant-seeded
+  generator at the top of a script is exactly right.)
+
+``repro.reram.noise`` is exempt: it *is* the contract's implementation
+(every draw there derives from ``SeedSequence(seed, spawn_key=...)``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleSource, Rule
+
+#: numpy.random module-level samplers that mutate hidden global state.
+LEGACY_SAMPLERS = frozenset(
+    {
+        "beta", "binomial", "bytes", "chisquare", "choice", "dirichlet",
+        "exponential", "f", "gamma", "geometric", "gumbel", "hypergeometric",
+        "laplace", "logistic", "lognormal", "logseries", "multinomial",
+        "multivariate_normal", "negative_binomial", "noncentral_chisquare",
+        "noncentral_f", "normal", "pareto", "permutation", "poisson", "power",
+        "rand", "randint", "randn", "random", "random_integers",
+        "random_sample", "ranf", "rayleigh", "sample", "seed", "shuffle",
+        "standard_cauchy", "standard_exponential", "standard_gamma",
+        "standard_normal", "standard_t", "triangular", "uniform", "vonmises",
+        "wald", "weibull", "zipf",
+    }
+)
+
+#: stdlib ``random`` module samplers (same hidden-global-state problem).
+STDLIB_SAMPLERS = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate", "gammavariate",
+        "gauss", "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+        "randbytes", "randint", "random", "randrange", "sample", "seed",
+        "shuffle", "triangular", "uniform", "vonmisesvariate", "weibullvariate",
+    }
+)
+
+#: Modules exempt from every RED001 clause (the contract implementation).
+EXEMPT_MODULES = (("repro", "reram", "noise"),)
+
+_DOCSTRING_SAMPLER_RE = re.compile(
+    r"(?:np|numpy)\.random\.(" + "|".join(sorted(LEGACY_SAMPLERS)) + r")\s*\("
+)
+
+
+def _attribute_chain(node: ast.AST) -> tuple[str, ...]:
+    """``a.b.c`` as ``("a", "b", "c")``; empty for non-name chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def _is_numpy_random_chain(chain: tuple[str, ...]) -> bool:
+    return len(chain) >= 2 and chain[0] in {"np", "numpy"} and chain[1] == "random"
+
+
+def _is_seed_sequence_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    chain = _attribute_chain(node.func)
+    return bool(chain) and chain[-1] == "SeedSequence"
+
+
+def _is_seed_valued(node: ast.AST) -> bool:
+    """An expression that plainly carries an injected seed: a name or
+    attribute whose final identifier mentions ``seed``."""
+    if isinstance(node, ast.Name):
+        return "seed" in node.id.lower()
+    if isinstance(node, ast.Attribute):
+        return "seed" in node.attr.lower()
+    if isinstance(node, ast.Call):
+        # int(seed), operator.index(seed), ... — seed passed through a cast.
+        return any(_is_seed_valued(arg) for arg in node.args)
+    if isinstance(node, ast.BinOp):
+        return _is_seed_valued(node.left) or _is_seed_valued(node.right)
+    return False
+
+
+def _mentions_rng(node: ast.AST) -> bool:
+    return any(
+        isinstance(sub, ast.Name) and sub.id.lower().endswith("rng")
+        for sub in ast.walk(node)
+    )
+
+
+class SeedingRule(Rule):
+    rule_id = "RED001"
+    summary = (
+        "randomness flows through SeedSequence spawn keys, injected "
+        "seeds/Generators, or rng= default idioms — never global state"
+    )
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return module.module_parts not in EXEMPT_MODULES
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        tree = module.tree
+        assert tree is not None
+        in_library = module.module_parts[:1] == ("repro",)
+        in_api_tier = module.module_parts[:2] == ("repro", "api")
+        stdlib_random_names = self._stdlib_random_imports(tree)
+        default_idiom_calls = self._default_idiom_call_ids(tree)
+
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attribute_chain(node.func)
+            if not chain:
+                continue
+            # Clause 1: legacy global-state samplers.
+            if (
+                _is_numpy_random_chain(chain)
+                and len(chain) == 3
+                and chain[2] in LEGACY_SAMPLERS
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"legacy global-state sampler np.random.{chain[2]}(); "
+                    "draw from an injected Generator or SeedSequence spawn",
+                )
+                continue
+            if (
+                len(chain) == 2
+                and chain[0] in stdlib_random_names
+                and chain[1] in STDLIB_SAMPLERS
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"stdlib global-state sampler random.{chain[1]}(); "
+                    "use a seeded numpy Generator instead",
+                )
+                continue
+            # Clause 2: default_rng discipline.
+            if chain[-1] != "default_rng":
+                continue
+            if len(chain) > 1 and not _is_numpy_random_chain(chain):
+                continue  # someone else's default_rng
+            if in_api_tier:
+                yield self.finding(
+                    module,
+                    node,
+                    "the service tier must not construct generators; pass the "
+                    "request seed to the library entry point that owns the "
+                    "seed-to-generator mapping",
+                )
+                continue
+            if not node.args and not node.keywords:
+                yield self.finding(
+                    module,
+                    node,
+                    "unseeded default_rng(); results are irreproducible — "
+                    "seed it from the caller",
+                )
+                continue
+            if not in_library:
+                continue  # literal seeds are fine in scripts/benchmarks
+            seed_arg = node.args[0] if node.args else None
+            if seed_arg is not None and (
+                _is_seed_sequence_call(seed_arg) or _is_seed_valued(seed_arg)
+            ):
+                continue
+            if id(node) in default_idiom_calls:
+                continue
+            yield self.finding(
+                module,
+                node,
+                "default_rng with a hard-wired seed outside an rng= default "
+                "idiom; derive from SeedSequence(seed, spawn_key=...) or an "
+                "injected seed",
+            )
+
+        yield from self._docstring_findings(module, tree)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _stdlib_random_imports(tree: ast.Module) -> frozenset[str]:
+        """Names the stdlib ``random`` module is bound to in this file."""
+        names = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        names.add(alias.asname or "random")
+        return frozenset(names)
+
+    @staticmethod
+    def _default_idiom_call_ids(tree: ast.Module) -> frozenset[int]:
+        """``id()`` of default_rng calls inside an rng-default idiom.
+
+        Recognized shapes: ``rng or default_rng(0)`` and
+        ``default_rng(0) if rng is None else rng`` (either arm).
+        """
+        allowed: set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.BoolOp) and isinstance(node.op, ast.Or):
+                if any(
+                    isinstance(v, ast.Name) and v.id.lower().endswith("rng")
+                    for v in node.values
+                ):
+                    for value in node.values:
+                        if isinstance(value, ast.Call):
+                            allowed.add(id(value))
+            elif isinstance(node, ast.IfExp) and _mentions_rng(node.test):
+                for arm in (node.body, node.orelse):
+                    if isinstance(arm, ast.Call):
+                        allowed.add(id(arm))
+        return frozenset(allowed)
+
+    def _docstring_findings(
+        self, module: ModuleSource, tree: ast.Module
+    ) -> Iterator[Finding]:
+        """Clause 3: docstring examples must be deterministic too."""
+        for node in ast.walk(tree):
+            if not isinstance(
+                node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            body = node.body
+            if not (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                continue
+            doc_node = body[0].value
+            for offset, line in enumerate(doc_node.value.splitlines()):
+                match = _DOCSTRING_SAMPLER_RE.search(line)
+                if match:
+                    finding = Finding(
+                        rule=self.rule_id,
+                        path=module.path,
+                        line=doc_node.lineno + offset,
+                        message=(
+                            f"docstring example calls np.random.{match.group(1)}(); "
+                            "demo code must seed via default_rng(<seed>) so the "
+                            "quickstart is deterministic"
+                        ),
+                    )
+                    yield finding

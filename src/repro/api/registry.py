@@ -43,7 +43,7 @@ import it without dragging in the whole evaluation stack.
 from __future__ import annotations
 
 import inspect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import DuplicateDesignError, ParameterError, UnknownDesignError

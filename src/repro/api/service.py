@@ -259,8 +259,6 @@ class RedService:
             raise SchemaError(
                 f"evaluate_network() takes a NetworkRequest, got {type(request).__name__}"
             )
-        import numpy as np
-
         from repro.system.chip import provision_chip
         from repro.system.pipeline import pipeline_network
         from repro.workloads.networks import build_network
@@ -268,9 +266,9 @@ class RedService:
         designs = self._resolve_designs(request.designs)
         tech = request.resolved_tech(self.tech)
         try:
-            network = build_network(
-                request.network, rng=np.random.default_rng(request.seed)
-            )
+            # The seed stays a plain int across the API boundary; the
+            # workloads module owns the seed-to-generator mapping.
+            network = build_network(request.network, seed=request.seed)
         except KeyError as exc:
             raise SchemaError(exc.args[0] if exc.args else str(exc)) from exc
         # The roll-ups normalize against the baseline design, so evaluate

@@ -13,17 +13,15 @@ Constants live in :class:`repro.arch.tech.TechnologyParams`; they are
 *calibrated* to reproduce the paper's relative results (see DESIGN.md §3).
 """
 
-from repro.arch.tech import TechnologyParams, default_tech
 from repro.arch.breakdown import (
     ARRAY_COMPONENTS,
     PERIPHERY_COMPONENTS,
     TABLE_II_COMPONENTS,
-    LatencyBreakdown,
-    EnergyBreakdown,
     AreaBreakdown,
     DesignMetrics,
+    EnergyBreakdown,
+    LatencyBreakdown,
 )
-from repro.arch.perf_input import DesignPerfInput, DecoderBank
 from repro.arch.metrics import evaluate_design
 from repro.arch.metrics_batch import (
     PerfInputBatch,
@@ -32,8 +30,10 @@ from repro.arch.metrics_batch import (
     evaluate_perf_batch,
     latency_breakdown_batch,
 )
-from repro.arch.wires import WireModel
+from repro.arch.perf_input import DecoderBank, DesignPerfInput
 from repro.arch.subarray import SubarrayTiling, tile_logical_array
+from repro.arch.tech import TechnologyParams, default_tech
+from repro.arch.wires import WireModel
 
 __all__ = [
     "TechnologyParams",

@@ -11,7 +11,7 @@ the evaluator stays free of dataflow logic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.deconv.shapes import DeconvSpec
 from repro.errors import ParameterError

@@ -19,16 +19,16 @@ import numpy as np
 
 from repro.arch.metrics_batch import PerfInputBatch
 from repro.arch.perf_input import DecoderBank, DesignPerfInput
+from repro.arch.tech import TechnologyParams
 from repro.core.dataflow import ZeroSkippingSchedule, red_cycle_count
 from repro.core.fold import FoldedSCT, fold_sct, resolve_fold, resolve_fold_batch
 from repro.core.mapping import build_sct
 from repro.deconv.analysis import useful_mac_count, useful_mac_count_batch
-from repro.deconv.modes import decompose_modes, max_taps_per_mode
+from repro.deconv.modes import decompose_modes
 from repro.deconv.shapes import DeconvSpec, SpecArrays
 from repro.designs.base import DeconvDesign, FunctionalRun
 from repro.reram.bitslice import WeightSlicing
 from repro.reram.pipeline import CrossbarPipeline
-from repro.arch.tech import TechnologyParams
 
 
 class REDDesign(DeconvDesign):
@@ -223,7 +223,6 @@ class REDDesign(DeconvDesign):
         """Counts for Fig. 5: folded SCT geometry, zero-skipping rounds."""
         spec = self.spec
         nonempty_modes = sum(1 for mode in self._modes if mode.taps)
-        max_taps = max_taps_per_mode(spec)
         sc_count = self.num_physical_scs
         useful = useful_mac_count(spec)
         # The integrate-and-fire circuit accumulates a folded SC's charge

@@ -12,14 +12,14 @@ diagrams computed from the real mapping/schedule code (not hand-drawn):
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.dataflow import ZeroSkippingSchedule
 from repro.deconv.modes import decompose_modes
 from repro.deconv.shapes import DeconvSpec
 from repro.deconv.zero_padding import zero_insert_input
 from repro.utils.formatting import render_ascii_table
 from repro.utils.validation import check_positive_int
-
-import numpy as np
 
 
 def render_padded_map(spec: DeconvSpec) -> str:

@@ -17,32 +17,32 @@ Tensor conventions follow the paper: activations are ``(H, W, C)`` and
 kernels are ``(KH, KW, C, M)``.
 """
 
-from repro.deconv.shapes import DeconvSpec, PaddedGeometry
-from repro.deconv.reference import (
-    conv2d_valid,
-    conv_transpose2d,
-    rotate_kernel_180,
-)
-from repro.deconv.zero_padding import (
-    zero_insert_input,
-    zero_padding_deconv,
-)
-from repro.deconv.padding_free import (
-    padding_free_deconv,
-    pixel_kernel_products,
-    overlap_add,
+from repro.deconv.analysis import (
+    dense_mac_count,
+    padded_zero_fraction,
+    redundancy_vs_stride,
+    redundant_mac_fraction,
+    useful_mac_count,
 )
 from repro.deconv.modes import (
     ComputationMode,
     decompose_modes,
     mode_of_tap,
 )
-from repro.deconv.analysis import (
-    padded_zero_fraction,
-    redundant_mac_fraction,
-    useful_mac_count,
-    dense_mac_count,
-    redundancy_vs_stride,
+from repro.deconv.padding_free import (
+    overlap_add,
+    padding_free_deconv,
+    pixel_kernel_products,
+)
+from repro.deconv.reference import (
+    conv2d_valid,
+    conv_transpose2d,
+    rotate_kernel_180,
+)
+from repro.deconv.shapes import DeconvSpec, PaddedGeometry
+from repro.deconv.zero_padding import (
+    zero_insert_input,
+    zero_padding_deconv,
 )
 
 __all__ = [

@@ -16,7 +16,7 @@ at the bottom/right), and then runs a stride-1 valid convolution with the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from operator import attrgetter
 from typing import Sequence
 

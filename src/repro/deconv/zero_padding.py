@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.deconv.reference import conv2d_valid, rotate_kernel_180, _check_operands
+from repro.deconv.reference import _check_operands, conv2d_valid, rotate_kernel_180
 from repro.deconv.shapes import DeconvSpec
 
 

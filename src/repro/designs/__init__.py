@@ -10,9 +10,9 @@ all three share the :class:`DeconvDesign` interface defined here.
 """
 
 from repro.designs.base import DeconvDesign, FunctionalRun
-from repro.designs.zero_padding_design import ZeroPaddingDesign
-from repro.designs.padding_free_design import PaddingFreeDesign
 from repro.designs.conv_design import ConvolutionDesign, ConvSpec
+from repro.designs.padding_free_design import PaddingFreeDesign
+from repro.designs.zero_padding_design import ZeroPaddingDesign
 
 __all__ = [
     "DeconvDesign",

@@ -21,7 +21,6 @@ from repro.arch.breakdown import DesignMetrics
 from repro.arch.metrics import evaluate_design
 from repro.arch.perf_input import DecoderBank, DesignPerfInput
 from repro.arch.tech import TechnologyParams, default_tech
-from repro.deconv.reference import conv2d
 from repro.errors import ShapeError
 from repro.reram.bitslice import WeightSlicing
 from repro.reram.pipeline import CrossbarPipeline

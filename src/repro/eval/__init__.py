@@ -14,7 +14,14 @@
 * :mod:`repro.eval.sweeps` — prose-claim parameter sweeps.
 """
 
-from repro.eval.harness import EvaluationGrid, run_grid, DESIGN_ORDER
+from repro.eval.figures import (
+    fig4_redundancy_curves,
+    fig7_latency,
+    fig8_energy,
+    fig9_area,
+)
+from repro.eval.harness import DESIGN_ORDER, EvaluationGrid, run_grid
+from repro.eval.paper_targets import PAPER_TARGETS, PaperBand
 from repro.eval.parallel import (
     CycleStats,
     DesignJob,
@@ -24,15 +31,6 @@ from repro.eval.parallel import (
     run_cycle_jobs,
     run_design_jobs,
 )
-from repro.eval.vectorized import design_supports_batch, evaluate_design_jobs_batch
-from repro.eval.figures import (
-    fig4_redundancy_curves,
-    fig7_latency,
-    fig8_energy,
-    fig9_area,
-)
-from repro.eval.tables import render_table1, render_table2
-from repro.eval.paper_targets import PAPER_TARGETS, PaperBand
 from repro.eval.report import (
     format_fig4,
     format_fig7,
@@ -40,6 +38,8 @@ from repro.eval.report import (
     format_fig9,
     full_report,
 )
+from repro.eval.tables import render_table1, render_table2
+from repro.eval.vectorized import design_supports_batch, evaluate_design_jobs_batch
 
 __all__ = [
     "EvaluationGrid",

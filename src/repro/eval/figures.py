@@ -9,8 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.deconv.analysis import redundancy_vs_stride
 from repro.api.registry import available_designs
+from repro.deconv.analysis import redundancy_vs_stride
 from repro.eval.harness import EvaluationGrid, run_grid
 
 

@@ -348,7 +348,7 @@ def job_keys(
         return []
     prefix = f"schema={CACHE_SCHEMA_VERSION}|kind={kind}|design="
     design_info: dict[str, tuple[str, bool]] = {}
-    head_cache: dict[tuple[str, type, object], str] = {}
+    head_memo: dict[tuple[str, type, object], str] = {}
     spec_by_id: dict[int, int] = {}
     spec_slots: dict[DeconvSpec, int] = {}
     unique_specs: list[DeconvSpec] = []
@@ -369,9 +369,9 @@ def job_keys(
         # The fold's type rides in the memo key so value-equal-but-
         # distinct folds (2 vs 2.0) keep the distinct reprs job_key has.
         head_token = (canonical, fold.__class__, fold)
-        head = head_cache.get(head_token)
+        head = head_memo.get(head_token)
         if head is None:
-            head = head_cache[head_token] = f"{prefix}{canonical}|fold={fold!r}|"
+            head = head_memo[head_token] = f"{prefix}{canonical}|fold={fold!r}|"
         heads.append(head)
 
         spec = job.spec

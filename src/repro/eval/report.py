@@ -7,6 +7,7 @@ layer and one column per design, normalized exactly as the paper plots.
 
 from __future__ import annotations
 
+from repro.api.registry import available_designs
 from repro.eval.figures import (
     FIG9_LAYERS,
     fig4_redundancy_curves,
@@ -14,7 +15,6 @@ from repro.eval.figures import (
     fig8_energy,
     fig9_area,
 )
-from repro.api.registry import available_designs
 from repro.eval.harness import EvaluationGrid, run_grid
 from repro.eval.tables import render_table1, render_table2
 from repro.utils.formatting import render_ascii_table

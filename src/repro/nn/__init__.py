@@ -13,30 +13,30 @@ seeded synthetically (see DESIGN.md, substitutions).
 """
 
 from repro.nn import functional
-from repro.nn.modules import (
-    Module,
-    Sequential,
-    Conv2d,
-    ConvTranspose2d,
-    BatchNorm2d,
-    ReLU,
-    LeakyReLU,
-    Tanh,
-    Sigmoid,
-    Identity,
-    Flatten,
-)
 from repro.nn.init import (
-    normal_init,
+    bilinear_upsampling_kernel,
     dcgan_init,
     kaiming_init,
+    normal_init,
     xavier_init,
-    bilinear_upsampling_kernel,
+)
+from repro.nn.modules import (
+    BatchNorm2d,
+    Conv2d,
+    ConvTranspose2d,
+    Flatten,
+    Identity,
+    LeakyReLU,
+    Module,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
 )
 from repro.nn.quantize import (
     QuantParams,
-    quantize_tensor,
     dequantize_tensor,
+    quantize_tensor,
     symmetric_quant_params,
 )
 

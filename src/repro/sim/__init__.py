@@ -1,8 +1,7 @@
 """Cycle-level simulation utilities: counters, traces, instrumented runs,
 the analytic schedule compiler and the fused multi-job engine."""
 
-from repro.sim.counters import CounterSet
-from repro.sim.trace import Trace, TraceEvent
+from repro.sim.batch import BatchEngine, BatchJob, BatchJobResult, BatchResult
 from repro.sim.compiler import (
     CompiledSchedule,
     ScheduleCacheEntry,
@@ -16,8 +15,9 @@ from repro.sim.compiler import (
     schedule_cache_info,
     walk_events,
 )
+from repro.sim.counters import CounterSet
 from repro.sim.engine import CycleEngine, InstrumentedRun, counters_from_schedule
-from repro.sim.batch import BatchEngine, BatchJob, BatchJobResult, BatchResult
+from repro.sim.trace import Trace, TraceEvent
 
 __all__ = [
     "CounterSet",

@@ -27,8 +27,8 @@ import numpy as np
 
 from repro.core.fold import fold_sct
 from repro.core.mapping import build_sct
-from repro.errors import ShapeError
 from repro.deconv.shapes import DeconvSpec
+from repro.errors import ShapeError
 from repro.sim.compiler import (  # noqa: F401  (re-exported compatibility surface)
     CompiledSchedule,
     TapGroup,

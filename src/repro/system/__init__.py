@@ -15,14 +15,14 @@ pipeline the layers.  This package adds that level:
   is recovered).
 """
 
+from repro.system.chip import ChipProvision, provision_chip
 from repro.system.network_mapper import (
     MappedLayer,
     NetworkEvaluation,
-    extract_deconv_layers,
     evaluate_network,
+    extract_deconv_layers,
 )
 from repro.system.pipeline import PipelineReport, pipeline_network, pipeline_network_sweep
-from repro.system.chip import ChipProvision, provision_chip
 
 __all__ = [
     "MappedLayer",

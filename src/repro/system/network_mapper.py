@@ -41,7 +41,7 @@ def _walk(module: Module, prefix: str, height: int, width: int, found: list[Mapp
     normalization layers preserve the spatial size; convolutions and
     transposed convolutions transform it.
     """
-    from repro.nn.modules import BatchNorm2d, Conv2d, Flatten, Identity
+    from repro.nn.modules import BatchNorm2d, Conv2d, Identity
 
     if isinstance(module, Sequential):
         for index, layer in enumerate(module.layers):

@@ -1,29 +1,29 @@
 """Benchmark workloads: Table I layer specs and their source networks."""
 
-from repro.workloads.specs import (
-    BenchmarkLayer,
-    TABLE_I_LAYERS,
-    get_layer,
-    layer_names,
-)
-from repro.workloads.networks import (
-    DCGANGenerator,
-    ImprovedGANGenerator,
-    SNGANGenerator,
-    FCN8sDecoder,
-    build_network,
-    NETWORK_BUILDERS,
-)
-from repro.workloads.full_networks import (
-    FCN8s,
-    DCGANDiscriminator,
-    gan_round_trip,
-)
 from repro.workloads.data import (
-    latent_batch,
     feature_map_batch,
+    latent_batch,
     layer_input,
     layer_kernel,
+)
+from repro.workloads.full_networks import (
+    DCGANDiscriminator,
+    FCN8s,
+    gan_round_trip,
+)
+from repro.workloads.networks import (
+    NETWORK_BUILDERS,
+    DCGANGenerator,
+    FCN8sDecoder,
+    ImprovedGANGenerator,
+    SNGANGenerator,
+    build_network,
+)
+from repro.workloads.specs import (
+    TABLE_I_LAYERS,
+    BenchmarkLayer,
+    get_layer,
+    layer_names,
 )
 
 __all__ = [

@@ -216,10 +216,26 @@ NETWORK_BUILDERS = {
 }
 
 
-def build_network(name: str, rng: np.random.Generator | None = None) -> Module:
-    """Instantiate a workload network by its Table I ``network`` name."""
+def build_network(
+    name: str,
+    rng: np.random.Generator | None = None,
+    *,
+    seed: int | None = None,
+) -> Module:
+    """Instantiate a workload network by its Table I ``network`` name.
+
+    Weight initialisation is seeded one of three ways: pass ``seed`` to
+    let this module own the seed-to-generator mapping (the service tier
+    does this — generators never cross the API boundary), pass an
+    explicit ``rng``, or pass neither to get each network's fixed
+    default seed.  Passing both is a contract error.
+    """
     if name not in NETWORK_BUILDERS:
         raise KeyError(f"unknown network {name!r}; choose from {sorted(NETWORK_BUILDERS)}")
+    if seed is not None:
+        if rng is not None:
+            raise ValueError("build_network() takes rng or seed, not both")
+        rng = np.random.default_rng(seed)
     builder = NETWORK_BUILDERS[name]
     if builder is SNGANGenerator:
         return SNGANGenerator(base_size=4, rng=rng)

@@ -1,0 +1,1 @@
+"""Tests for the substrate contract linter (repro.analysis)."""

@@ -1,0 +1,144 @@
+"""Engine mechanics: suppressions, baselines, walking, loop contexts, CLI."""
+
+import ast
+import json
+
+import pytest
+
+from repro.analysis.engine import (
+    PARSE_ERROR,
+    Finding,
+    is_suppressed,
+    load_baseline,
+    module_parts_for,
+    run_analysis,
+    save_baseline,
+    suppressed_rules,
+    walk_loop_contexts,
+    walk_python_files,
+)
+
+
+class TestSuppressions:
+    def test_no_marker(self):
+        assert suppressed_rules("x = cache.get(key)") is None
+
+    def test_bare_marker_suppresses_everything(self):
+        assert suppressed_rules("x = 1  # red: ignore") == frozenset()
+
+    def test_explicit_rules(self):
+        got = suppressed_rules("x = 1  # red: ignore[RED001, red004]")
+        assert got == frozenset({"RED001", "RED004"})
+
+    def test_is_suppressed_matches_rule(self):
+        lines = ["a = 1", "b = cache.get(k)  # red: ignore[RED004]"]
+        hit = Finding(rule="RED004", path="f.py", line=2, message="m")
+        miss = Finding(rule="RED001", path="f.py", line=2, message="m")
+        assert is_suppressed(hit, lines)
+        assert not is_suppressed(miss, lines)
+
+    def test_bare_marker_suppresses_any_rule(self):
+        lines = ["b = cache.get(k)  # red: ignore"]
+        assert is_suppressed(Finding("RED004", "f.py", 1, "m"), lines)
+
+    def test_out_of_range_line_is_not_suppressed(self):
+        assert not is_suppressed(Finding("RED004", "f.py", 99, "m"), ["x"])
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        findings = [
+            Finding("RED004", "src/a.py", 12, "single-entry store call"),
+            Finding("RED001", "src/b.py", 3, "unseeded default_rng"),
+        ]
+        path = tmp_path / "baseline.json"
+        save_baseline(path, findings)
+        keys = load_baseline(path)
+        assert keys == {f.baseline_key() for f in findings}
+
+    def test_matching_ignores_line_numbers(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline(path, [Finding("RED004", "src/a.py", 12, "msg")])
+        moved = Finding("RED004", "src/a.py", 99, "msg")
+        assert moved.baseline_key() in load_baseline(path)
+
+    def test_rejects_foreign_payload(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 999, "findings": []}))
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_run_analysis_filters_baselined(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "eval" / "runner.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f(cache, key):\n    return cache.get(key)\n")
+        report = run_analysis([tmp_path / "src"])
+        assert len(report.findings) == 1
+        baseline_file = tmp_path / "baseline.json"
+        save_baseline(baseline_file, report.findings)
+        again = run_analysis([tmp_path / "src"], baseline=load_baseline(baseline_file))
+        assert again.findings == []
+        assert again.baselined == 1
+
+
+class TestWalking:
+    def test_skips_pycache_and_hidden_dirs(self, tmp_path):
+        (tmp_path / "pkg" / "__pycache__").mkdir(parents=True)
+        (tmp_path / "pkg" / ".hidden").mkdir()
+        (tmp_path / "pkg" / "real.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__" / "stale.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / ".hidden" / "secret.py").write_text("x = 1\n")
+        files = walk_python_files([tmp_path])
+        assert [f.name for f in files] == ["real.py"]
+
+    def test_overlapping_roots_deduplicate(self, tmp_path):
+        f = tmp_path / "pkg" / "mod.py"
+        f.parent.mkdir()
+        f.write_text("x = 1\n")
+        assert walk_python_files([tmp_path, f.parent, f]) == [f]
+
+    def test_module_parts_strips_src_anchor(self, tmp_path):
+        path = tmp_path / "src" / "repro" / "eval" / "parallel.py"
+        assert module_parts_for(path) == ("repro", "eval", "parallel")
+
+    def test_syntax_error_becomes_parse_error_finding(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        report = run_analysis([tmp_path])
+        assert [f.rule for f in report.findings] == [PARSE_ERROR]
+
+
+class TestWalkLoopContexts:
+    def _contexts(self, src):
+        tree = ast.parse(src)
+        return {
+            ast.unparse(node): in_loop
+            for node, in_loop in walk_loop_contexts(tree)
+            if isinstance(node, ast.Call)
+        }
+
+    def test_for_iterable_runs_once_body_per_iteration(self):
+        ctx = self._contexts("for x in make():\n    use(x)\n")
+        assert ctx["make()"] is False
+        assert ctx["use(x)"] is True
+
+    def test_while_test_is_per_iteration(self):
+        ctx = self._contexts("while check():\n    step()\n")
+        assert ctx["check()"] is True
+        assert ctx["step()"] is True
+
+    def test_first_generator_iterable_runs_once(self):
+        ctx = self._contexts("r = [f(x) for x in make() if ok(x)]\n")
+        assert ctx["make()"] is False
+        assert ctx["f(x)"] is True
+        assert ctx["ok(x)"] is True
+
+    def test_nested_generator_iterable_is_per_iteration(self):
+        ctx = self._contexts("r = [g(y) for x in make() for y in expand(x)]\n")
+        assert ctx["make()"] is False
+        assert ctx["expand(x)"] is True
+
+    def test_comprehension_inside_loop_inherits_context(self):
+        ctx = self._contexts("for k in keys():\n    r = [f(x) for x in probe(k)]\n")
+        assert ctx["keys()"] is False
+        assert ctx["probe(k)"] is True

@@ -4,7 +4,6 @@ import pytest
 
 from repro.arch.metrics import area_breakdown, energy_breakdown, latency_breakdown
 from repro.arch.perf_input import DecoderBank, DesignPerfInput
-from repro.arch.tech import default_tech
 from repro.deconv.shapes import DeconvSpec
 from repro.errors import ParameterError
 

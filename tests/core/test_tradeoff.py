@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.tradeoff import explore_fold_tradeoff
-from repro.deconv.shapes import DeconvSpec
 from repro.errors import ParameterError
 from repro.workloads.specs import get_layer
 

@@ -1,6 +1,5 @@
 """Tests for the zero-redundancy analytics behind Fig. 4."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,7 +1,6 @@
 """Tests for the padding-free baseline design."""
 
 import numpy as np
-import pytest
 
 from repro.deconv.padding_free import full_overlap_shape
 from repro.deconv.reference import conv_transpose2d

@@ -21,7 +21,6 @@ from repro.api.registry import (
     unregister_design,
 )
 from repro.arch.tech import default_tech
-from repro.deconv.shapes import DeconvSpec
 from repro.errors import ParameterError
 from repro.eval.parallel import DesignJob, evaluate_design_job, run_design_jobs
 from repro.eval.vectorized import design_supports_batch, evaluate_design_jobs_batch

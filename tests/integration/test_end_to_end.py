@@ -7,11 +7,7 @@ from repro.core.red_design import REDDesign
 from repro.deconv.reference import conv_transpose2d
 from repro.designs.padding_free_design import PaddingFreeDesign
 from repro.designs.zero_padding_design import ZeroPaddingDesign
-from repro.nn.quantize import (
-    dequantize_tensor,
-    quantize_tensor,
-    symmetric_quant_params,
-)
+from repro.nn.quantize import quantize_tensor, symmetric_quant_params
 from repro.workloads.data import layer_input, layer_kernel
 from repro.workloads.networks import SNGANGenerator
 from repro.workloads.specs import get_layer

@@ -6,7 +6,6 @@ performance-model sanity properties simultaneously.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

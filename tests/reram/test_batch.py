@@ -18,7 +18,6 @@ Covers the ISSUE-6 contracts:
 import pickle
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.workloads.specs import TABLE_I_LAYERS, get_layer, layer_names
+from repro.workloads.specs import get_layer, layer_names
 
 
 EXPECTED_ROWS = {
