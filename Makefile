@@ -2,6 +2,7 @@
 #
 #   make test        - full test suite (collection regressions fail fast)
 #   make lint        - byte-compile + ruff check (API-surface regressions)
+#   make chaos       - reliability suite under an ambient fault matrix
 #   make bench-smoke - quick-mode batch-engine benchmark (ISSUE-1 gate)
 #   make bench       - full benchmark suite with reproduced paper tables
 #   make verify      - what CI runs
@@ -9,7 +10,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: test lint bench-smoke bench verify
+.PHONY: test lint chaos bench-smoke bench verify
 
 test:
 	python -m pytest -x -q
@@ -28,15 +29,27 @@ lint:
 	fi
 	python -m repro.analysis src benchmarks examples
 
+# Chaos gate: the reliability suite twice — once clean, once with a
+# representative fault matrix armed through the environment
+# (src/repro/reliability/README.md documents the spec grammar).  Tests
+# that pin their own failpoints are immune to the ambient matrix; the
+# ambient-environment test runs its recovery check under it for real.
+chaos:
+	python -m pytest tests/reliability -q
+	RED_FAILPOINTS="pool.worker:io_error@0.1;store.put_many:io_error@0.3;store.get_many:corrupt@0.3" \
+	RED_FAILPOINT_SEED=7 \
+	python -m pytest tests/reliability -q
+
 bench-smoke:
-	RED_BENCH_QUICK=1 python -m pytest benchmarks/bench_batch_engine.py benchmarks/bench_cycle_compile.py benchmarks/bench_sweep_vectorized.py benchmarks/bench_cache_plane.py benchmarks/bench_device_plane.py -q
+	RED_BENCH_QUICK=1 python -m pytest benchmarks/bench_batch_engine.py benchmarks/bench_cycle_compile.py benchmarks/bench_sweep_vectorized.py benchmarks/bench_cache_plane.py benchmarks/bench_device_plane.py benchmarks/bench_resilience.py -q
 
 # bench_batch_engine.py / bench_cycle_compile.py / bench_sweep_vectorized.py
-# / bench_cache_plane.py / bench_device_plane.py time wall-clock manually
-# (no pytest-benchmark fixture), so --benchmark-only would skip them; run
-# them separately to keep the full-mode speedup gates in the target.
+# / bench_cache_plane.py / bench_device_plane.py / bench_resilience.py time
+# wall-clock manually (no pytest-benchmark fixture), so --benchmark-only
+# would skip them; run them separately to keep the full-mode gates in the
+# target.
 bench:
 	python -m pytest benchmarks/ -o python_files="bench_*.py" --benchmark-only -s
-	python -m pytest benchmarks/bench_batch_engine.py benchmarks/bench_cycle_compile.py benchmarks/bench_sweep_vectorized.py benchmarks/bench_cache_plane.py benchmarks/bench_device_plane.py -q -s
+	python -m pytest benchmarks/bench_batch_engine.py benchmarks/bench_cycle_compile.py benchmarks/bench_sweep_vectorized.py benchmarks/bench_cache_plane.py benchmarks/bench_device_plane.py benchmarks/bench_resilience.py -q -s
 
-verify: lint test bench-smoke
+verify: lint test chaos bench-smoke

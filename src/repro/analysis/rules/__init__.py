@@ -1,4 +1,4 @@
-"""The contract-rule catalogue (RED001-RED006).
+"""The contract-rule catalogue (RED001-RED007).
 
 Each module here encodes one substrate invariant established by an
 earlier PR; see the per-module docstrings and ``../README.md`` for the
@@ -17,6 +17,7 @@ from repro.analysis.rules.registry import RegistryRule
 from repro.analysis.rules.schema import SchemaRule
 from repro.analysis.rules.seeding import SeedingRule
 from repro.analysis.rules.store import StoreDisciplineRule
+from repro.analysis.rules.swallow import SwallowRule
 
 __all__ = [
     "NondeterminismRule",
@@ -25,6 +26,7 @@ __all__ = [
     "SchemaRule",
     "SeedingRule",
     "StoreDisciplineRule",
+    "SwallowRule",
     "default_rules",
 ]
 
@@ -38,4 +40,5 @@ def default_rules() -> list[Rule]:
         StoreDisciplineRule(),
         OraclePurityRule(),
         NondeterminismRule(),
+        SwallowRule(),
     ]

@@ -60,8 +60,8 @@ _REGISTRY_EXPORTS = {
     "unregister_design",
 }
 _SCHEMA_EXPORTS = {
-    "SCHEMA_VERSION", "CommandPayload", "EvaluationRequest", "EvaluationResult",
-    "FidelityPoint", "FidelityRequest", "FidelityResult",
+    "SCHEMA_VERSION", "CommandPayload", "ErrorInfo", "EvaluationRequest",
+    "EvaluationResult", "FidelityPoint", "FidelityRequest", "FidelityResult",
     "NetworkDesignSummary", "NetworkRequest", "NetworkResult", "SweepPoint",
     "SweepRequest", "SweepResult", "payload_from_dict",
 }

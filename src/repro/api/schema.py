@@ -507,17 +507,103 @@ class SweepPoint:
 
 
 @dataclass(frozen=True)
+class ErrorInfo:
+    """A failure, as it travels on the wire.
+
+    The error envelope the future serving fabric round-trips: enough to
+    classify (``error_type``), display (``message``), locate
+    (``source`` — a stage or stride label) and react (``retryable``,
+    per the taxonomy in :mod:`repro.errors`).  Carried standalone by
+    the CLI's ``--json`` error boundary and embedded in partial results
+    (:attr:`SweepResult.failures`).
+    """
+
+    error_type: str
+    message: str
+    retryable: bool = False
+    source: str = ""
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if self.schema_version != SCHEMA_VERSION:
+            raise SchemaError(
+                f"ErrorInfo schema_version {self.schema_version!r} != {SCHEMA_VERSION}"
+            )
+        if not isinstance(self.error_type, str) or not self.error_type:
+            raise SchemaError(
+                f"error_type must be a non-empty string, got {self.error_type!r}"
+            )
+        if not isinstance(self.message, str):
+            raise SchemaError(f"message must be a string, got {self.message!r}")
+        if not isinstance(self.retryable, bool):
+            raise SchemaError(f"retryable must be a bool, got {self.retryable!r}")
+        if not isinstance(self.source, str):
+            raise SchemaError(f"source must be a string, got {self.source!r}")
+
+    @classmethod
+    def from_exception(cls, exc: BaseException, source: str = "") -> "ErrorInfo":
+        """The envelope for a caught exception.
+
+        ``retryable`` comes from the reliability plane's
+        transient/permanent split
+        (:func:`repro.reliability.policy.is_retryable`).
+        """
+        from repro.reliability.policy import is_retryable
+
+        return cls(
+            error_type=type(exc).__name__,
+            message=str(exc),
+            retryable=is_retryable(exc),
+            source=source,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "error_info",
+            "schema_version": self.schema_version,
+            "error_type": self.error_type,
+            "message": self.message,
+            "retryable": self.retryable,
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_dict(cls, payload) -> "ErrorInfo":
+        payload = _require_mapping(payload, "error_info")
+        _check_kind(payload, "error_info")
+        _check_version(payload, "error_info")
+        _check_keys(
+            payload,
+            "error_info",
+            frozenset({"schema_version", "error_type", "message"}),
+            frozenset({"kind", "retryable", "source"}),
+        )
+        return cls(
+            error_type=payload["error_type"],
+            message=payload["message"],
+            retryable=bool(payload.get("retryable", False)),
+            source=str(payload.get("source", "")),
+        )
+
+
+@dataclass(frozen=True)
 class SweepResult:
-    """The measured stride-speedup curve.
+    """The measured stride-speedup curve, possibly partial.
 
     Attributes:
-        points: one :class:`SweepPoint` per requested stride, ascending.
+        points: one :class:`SweepPoint` per *successful* stride,
+            ascending.
         fitted_exponent: least-squares ``b`` of ``speedup ~ stride^b``,
             or ``None`` when fewer than two strides exceed 1.
+        failures: :class:`ErrorInfo` per failed stride (empty on a full
+            result).  Partial-result semantics: when non-empty, the
+            sweep completed for the strides in ``points`` and failed
+            for those named in each failure's ``source``.
     """
 
     points: tuple[SweepPoint, ...]
     fitted_exponent: float | None = None
+    failures: tuple[ErrorInfo, ...] = ()
     schema_version: int = SCHEMA_VERSION
 
     def __post_init__(self) -> None:
@@ -526,14 +612,24 @@ class SweepResult:
                 f"SweepResult schema_version {self.schema_version!r} != {SCHEMA_VERSION}"
             )
         object.__setattr__(self, "points", tuple(self.points))
+        failures = tuple(self.failures)
+        for failure in failures:
+            if not isinstance(failure, ErrorInfo):
+                raise SchemaError(
+                    f"failures must hold ErrorInfo, got {type(failure).__name__}"
+                )
+        object.__setattr__(self, "failures", failures)
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "kind": "sweep_result",
             "schema_version": self.schema_version,
             "points": [p.to_dict() for p in self.points],
             "fitted_exponent": self.fitted_exponent,
         }
+        if self.failures:
+            payload["failures"] = [f.to_dict() for f in self.failures]
+        return payload
 
     @classmethod
     def from_dict(cls, payload) -> "SweepResult":
@@ -544,12 +640,15 @@ class SweepResult:
             payload,
             "sweep_result",
             frozenset({"schema_version", "points"}),
-            frozenset({"kind", "fitted_exponent"}),
+            frozenset({"kind", "fitted_exponent", "failures"}),
         )
         exponent = payload.get("fitted_exponent")
         return cls(
             points=tuple(SweepPoint.from_dict(p) for p in payload["points"]),
             fitted_exponent=None if exponent is None else float(exponent),
+            failures=tuple(
+                ErrorInfo.from_dict(f) for f in payload.get("failures", ())
+            ),
         )
 
 
@@ -1091,6 +1190,7 @@ PAYLOAD_KINDS: dict[str, type] = {
     "fidelity_request": FidelityRequest,
     "fidelity_result": FidelityResult,
     "command_result": CommandPayload,
+    "error_info": ErrorInfo,
 }
 
 

@@ -45,6 +45,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 
 from repro.api.registry import available_designs, baseline_design, resolve_design
 from repro.api.schema import (
+    ErrorInfo,
     EvaluationRequest,
     EvaluationResult,
     FidelityPoint,
@@ -59,7 +60,7 @@ from repro.api.schema import (
 )
 from repro.arch.tech import TechnologyParams, default_tech
 from repro.deconv.shapes import DeconvSpec
-from repro.errors import ParameterError, SchemaError
+from repro.errors import ParameterError, SchemaError, ServiceClosedError
 from repro.eval.parallel import (
     DesignJob,
     FidelityJob,
@@ -70,6 +71,7 @@ from repro.eval.parallel import (
     run_fidelity_jobs,
 )
 from repro.eval.store import PackedSweepStore
+from repro.reliability.policy import RetryPolicy, is_retryable
 
 
 class RedService:
@@ -94,6 +96,12 @@ class RedService:
             (:mod:`repro.eval.vectorized`, the default).  ``False``
             forces the scalar per-job oracle path — results are
             bit-identical either way.
+        timeout: optional wall-clock budget in seconds, forwarded to
+            every runner call the service makes; exceeding it raises
+            :class:`~repro.errors.EvaluationTimeoutError`.
+        retry_policy: :class:`~repro.reliability.RetryPolicy` the
+            runners apply to transient failures (worker crashes,
+            I/O errors); ``None`` uses the runners' default.
     """
 
     def __init__(
@@ -105,6 +113,8 @@ class RedService:
         max_sub_crossbars: int = 128,
         cycle_dtype: str = "float64",
         vectorized: bool = True,
+        timeout: float | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if num_workers < 1:
             raise ParameterError(f"num_workers must be >= 1, got {num_workers}")
@@ -123,8 +133,23 @@ class RedService:
         self.max_sub_crossbars = max_sub_crossbars
         self.cycle_dtype = cycle_dtype
         self.vectorized = vectorized
+        if timeout is not None and not timeout > 0:
+            raise ParameterError(f"timeout must be > 0 seconds, got {timeout!r}")
+        self.timeout = timeout
+        self.retry_policy = retry_policy
         self._executor: ThreadPoolExecutor | None = None
+        self._closed = False
         self._lock = threading.Lock()
+
+    def _runner_kwargs(self) -> dict:
+        """Substrate keywords every runner call shares."""
+        return {
+            "num_workers": self.num_workers,
+            "cache": self.cache,
+            "vectorized": self.vectorized,
+            "timeout": self.timeout,
+            "retry_policy": self.retry_policy,
+        }
 
     # ------------------------------------------------------------------
     # Request-level entry points
@@ -142,12 +167,7 @@ class RedService:
             DesignJob(design, spec, tech, fold=request.fold, layer_name=label)
             for design in designs
         ]
-        metrics = run_design_jobs(
-            jobs,
-            num_workers=self.num_workers,
-            cache=self.cache,
-            vectorized=self.vectorized,
-        )
+        metrics = run_design_jobs(jobs, **self._runner_kwargs())
         cycle_stats: tuple = ()
         if request.trace:
             cycle_stats = tuple(
@@ -156,6 +176,8 @@ class RedService:
                     cache=self.cache,
                     max_sub_crossbars=self.max_sub_crossbars,
                     dtype=self.cycle_dtype,
+                    timeout=self.timeout,
+                    retry_policy=self.retry_policy,
                 )
             )
         return EvaluationResult(
@@ -187,9 +209,7 @@ class RedService:
         tech = request.resolved_tech(self.tech)
         metrics = run_design_jobs(
             [DesignJob(design, spec, tech, layer_name=label) for design in designs],
-            num_workers=self.num_workers,
-            cache=self.cache,
-            vectorized=self.vectorized,
+            **self._runner_kwargs(),
         )
         stats = run_fidelity_jobs(
             [
@@ -213,6 +233,8 @@ class RedService:
                 for time_s in request.times
             ],
             cache=self.cache,
+            timeout=self.timeout,
+            retry_policy=self.retry_policy,
         )
         return FidelityResult(
             layer=label,
@@ -233,25 +255,75 @@ class RedService:
         )
 
     def sweep(self, request: SweepRequest) -> SweepResult:
-        """Run the stride-speedup sweep a request describes."""
+        """Run the stride-speedup sweep a request describes.
+
+        A transient failure (worker crash, I/O fault) in the batched
+        run does not lose the whole sweep: the service falls back to
+        per-stride evaluation and reports strides that still fail as
+        :class:`~repro.api.schema.ErrorInfo` entries in
+        :attr:`~repro.api.schema.SweepResult.failures`, with the
+        surviving points (and an exponent fitted over them) intact.
+        Permanent failures — invalid parameters, timeouts — raise.
+        """
         if not isinstance(request, SweepRequest):
             raise SchemaError(
                 f"sweep() takes a SweepRequest, got {type(request).__name__}"
             )
-        points = self.sweep_points(
-            strides=request.strides,
-            input_size=request.input_size,
-            channels=request.channels,
-            filters=request.filters,
-            tech=request.resolved_tech(self.tech),
-            fold=request.fold,
-        )
+        tech = request.resolved_tech(self.tech)
+        failures: tuple[ErrorInfo, ...] = ()
+        try:
+            points = self.sweep_points(
+                strides=request.strides,
+                input_size=request.input_size,
+                channels=request.channels,
+                filters=request.filters,
+                tech=tech,
+                fold=request.fold,
+            )
+        except Exception as exc:
+            if not is_retryable(exc):
+                raise
+            points, failures = self._sweep_points_partial(request, tech)
         exponent = None
         if len([p for p in points if p.stride > 1]) >= 2:
             from repro.eval.sweeps import quadratic_fit_exponent
 
             exponent = quadratic_fit_exponent(points)
-        return SweepResult(points=tuple(points), fitted_exponent=exponent)
+        return SweepResult(
+            points=tuple(points), fitted_exponent=exponent, failures=failures
+        )
+
+    def _sweep_points_partial(
+        self, request: SweepRequest, tech: TechnologyParams
+    ) -> tuple[list[SweepPoint], tuple[ErrorInfo, ...]]:
+        """Per-stride salvage pass behind :meth:`sweep`.
+
+        Each stride is evaluated on its own so one persistently failing
+        stride cannot take down its neighbours; a stride whose retries
+        still exhaust becomes an :class:`~repro.api.schema.ErrorInfo`
+        tagged ``source="stride=N"``.
+        """
+        points: list[SweepPoint] = []
+        failures: list[ErrorInfo] = []
+        for stride in sorted(set(request.strides)):
+            try:
+                points.extend(
+                    self.sweep_points(
+                        strides=(stride,),
+                        input_size=request.input_size,
+                        channels=request.channels,
+                        filters=request.filters,
+                        tech=tech,
+                        fold=request.fold,
+                    )
+                )
+            except Exception as exc:
+                if not is_retryable(exc):
+                    raise
+                failures.append(
+                    ErrorInfo.from_exception(exc, source=f"stride={stride}")
+                )
+        return points, tuple(failures)
 
     def evaluate_network(self, request: NetworkRequest) -> NetworkResult:
         """Evaluate every deconv layer of a named workload network."""
@@ -326,10 +398,18 @@ class RedService:
         """Dispatch any request on the service thread pool.
 
         Returns a :class:`concurrent.futures.Future` resolving to the
-        matching result type.
+        matching result type.  Raises
+        :class:`~repro.errors.ServiceClosedError` after :meth:`close`
+        — the closed check and executor creation share ``self._lock``,
+        so a concurrent ``close()`` can never leak a fresh thread pool.
         """
         handler = self._handler_for(request)
         with self._lock:
+            if self._closed:
+                raise ServiceClosedError(
+                    "cannot submit() on a closed RedService; "
+                    "construct a new service instead"
+                )
             if self._executor is None:
                 self._executor = ThreadPoolExecutor(
                     max_workers=self.service_threads,
@@ -352,14 +432,21 @@ class RedService:
         closing the service returns that memory.  A cache store the
         service constructed from a path is owned and closed too (its
         mmaps and LRU tier are released; caller-provided stores are the
-        caller's to close).
+        caller's to close).  After ``close()`` the service is retired:
+        :meth:`submit` raises
+        :class:`~repro.errors.ServiceClosedError` instead of silently
+        spinning up a fresh thread pool nothing will ever shut down.
         """
         from repro.sim.compiler import clear_compiled_schedules
 
         with self._lock:
             executor, self._executor = self._executor, None
+            already_closed = self._closed
+            self._closed = True
         if executor is not None:
             executor.shutdown(wait=True)
+        if already_closed:
+            return
         if self._owns_cache:
             self.cache.close()
         clear_compiled_schedules()
@@ -407,12 +494,7 @@ class RedService:
             for layer in layers
             for design in designs
         ]
-        evaluated = run_design_jobs(
-            jobs,
-            num_workers=self.num_workers,
-            cache=self.cache,
-            vectorized=self.vectorized,
-        )
+        evaluated = run_design_jobs(jobs, **self._runner_kwargs())
         metrics: dict[str, dict[str, object]] = {}
         for job, result in zip(jobs, evaluated):
             metrics.setdefault(job.layer_name, {})[job.design] = result
@@ -451,12 +533,7 @@ class RedService:
                 DesignJob(traced, spec, tech, fold=fold, layer_name=f"stride{stride}")
             )
             jobs.append(DesignJob(baseline, spec, tech, layer_name=f"stride{stride}"))
-        metrics = run_design_jobs(
-            jobs,
-            num_workers=self.num_workers,
-            cache=self.cache,
-            vectorized=self.vectorized,
-        )
+        metrics = run_design_jobs(jobs, **self._runner_kwargs())
         points = []
         for index, stride in enumerate(ordered):
             red_metrics = metrics[2 * index]
@@ -496,12 +573,7 @@ class RedService:
             for design in designs
             for mapped in layers
         ]
-        evaluated = run_design_jobs(
-            jobs,
-            num_workers=self.num_workers,
-            cache=self.cache,
-            vectorized=self.vectorized,
-        )
+        evaluated = run_design_jobs(jobs, **self._runner_kwargs())
         metrics: dict[str, dict[str, object]] = {}
         for job, result in zip(jobs, evaluated):
             metrics.setdefault(job.design, {})[job.layer_name] = result

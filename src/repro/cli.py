@@ -31,11 +31,13 @@ import sys
 from repro.api.registry import available_designs
 from repro.api.schema import (
     CommandPayload,
+    ErrorInfo,
     EvaluationResult,
     NetworkRequest,
     SweepRequest,
 )
 from repro.api.service import RedService
+from repro.errors import ReproError
 
 
 def _grid_results(grid) -> tuple[EvaluationResult, ...]:
@@ -275,24 +277,41 @@ def main(argv: list[str] | None = None) -> int:
     service = RedService(
         num_workers=getattr(args, "jobs", 1), cache=getattr(args, "cache", None)
     )
-    if args.command == "table1":
-        text, payload = _cmd_table1()
-    elif args.command == "table2":
-        text, payload = _cmd_table2()
-    elif args.command == "fig4":
-        text, payload = _cmd_fig4()
-    elif args.command in ("fig7", "fig8", "fig9", "report"):
-        text, payload = _cmd_grid_figure(args.command, service)
-    elif args.command == "tradeoff":
-        text, payload = _cmd_tradeoff()
-    elif args.command == "compare":
-        text, payload = _cmd_compare()
-    elif args.command == "mechanism":
-        text, payload = _cmd_mechanism()
-    elif args.command == "sweep":
-        text, payload = _cmd_sweep(args, service)
-    else:  # network
-        text, payload = _cmd_network(args, service)
+    try:
+        if args.command == "table1":
+            text, payload = _cmd_table1()
+        elif args.command == "table2":
+            text, payload = _cmd_table2()
+        elif args.command == "fig4":
+            text, payload = _cmd_fig4()
+        elif args.command in ("fig7", "fig8", "fig9", "report"):
+            text, payload = _cmd_grid_figure(args.command, service)
+        elif args.command == "tradeoff":
+            text, payload = _cmd_tradeoff()
+        elif args.command == "compare":
+            text, payload = _cmd_compare()
+        elif args.command == "mechanism":
+            text, payload = _cmd_mechanism()
+        elif args.command == "sweep":
+            text, payload = _cmd_sweep(args, service)
+        else:  # network
+            text, payload = _cmd_network(args, service)
+    except ReproError as exc:
+        # Error boundary: library failures are user-facing outcomes,
+        # not tracebacks.  Humans get one line on stderr; --json gets
+        # the same versioned ErrorInfo envelope the wire schema uses.
+        if args.json:
+            print(
+                json.dumps(
+                    ErrorInfo.from_exception(exc, source=args.command).to_dict(),
+                    indent=2,
+                )
+            )
+        else:
+            print(f"repro {args.command}: error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        service.close()
 
     if args.json:
         print(json.dumps(payload.to_dict(), indent=2))

@@ -3,6 +3,37 @@
 All library-raised errors derive from :class:`ReproError` so callers can
 catch one type at the API boundary.  Specific subclasses separate user
 input problems (shapes, parameters) from internal modelling errors.
+
+Failure taxonomy
+----------------
+The reliability plane (:mod:`repro.reliability`) splits failures into
+*transient* errors, which the retrying runners and the store absorb per
+:class:`~repro.reliability.policy.RetryPolicy`, and *permanent* errors,
+which surface to the caller immediately (the CLI maps every surfaced
+:class:`ReproError` to exit code 2).  The split is decided by
+:func:`repro.reliability.policy.is_retryable`:
+
+===========================  =========  =====================================
+Error                        Handling   Rationale
+===========================  =========  =====================================
+``OSError`` (incl. injected  retried    transient I/O: a later attempt can
+``InjectedFaultError``)                 succeed; the store degrades to
+                                        read-only once retries exhaust
+``WorkerCrashError`` /       retried    a pool worker died (OOM-kill
+``BrokenProcessPool``                   analogue); the runner respawns the
+                                        pool once, then degrades to
+                                        in-process scalar execution
+``EvaluationTimeoutError``   surfaced   the caller's per-batch ``timeout=``
+                                        budget is final — retrying cannot
+                                        create time
+``ShapeError`` /             surfaced   invalid input: deterministic, every
+``ParameterError`` /                    retry fails identically
+``MappingError`` / ...
+``ServiceClosedError``       surfaced   programming error in the caller's
+                                        lifecycle management
+``SchemaError`` /            surfaced   malformed wire payload; the sender
+``CacheError``                          must fix it, not resend it
+===========================  =========  =====================================
 """
 
 from __future__ import annotations
@@ -61,3 +92,31 @@ class UnknownDesignError(RegistryError, KeyError):
 
 class SchemaError(ReproError, ValueError):
     """An API request/response payload failed strict schema validation."""
+
+
+class ReliabilityError(ReproError):
+    """Base class for the fault-injection / retry plane's own errors."""
+
+
+class InjectedFaultError(ReliabilityError, OSError):
+    """A deterministic failpoint fired in ``io_error`` mode.
+
+    Subclasses :class:`OSError` so every retry/degrade path treats an
+    injected fault exactly like the real transient it stands in for.
+    """
+
+
+class WorkerCrashError(ReliabilityError):
+    """A pool worker died (or a ``crash`` failpoint fired in-process)."""
+
+
+class EvaluationTimeoutError(ReliabilityError, TimeoutError):
+    """A runner exceeded its per-batch ``timeout=`` budget.
+
+    Subclasses :class:`TimeoutError` for callers that catch the builtin;
+    deliberately *not* retryable — the budget is final.
+    """
+
+
+class ServiceClosedError(ReliabilityError):
+    """A request was submitted to a :class:`RedService` after ``close()``."""

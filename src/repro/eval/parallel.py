@@ -87,6 +87,7 @@ import os
 import pickle
 import tempfile
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, fields, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Sequence
@@ -97,7 +98,9 @@ from repro.arch.breakdown import DesignMetrics
 from repro.arch.tech import TechnologyParams
 from repro.deconv.shapes import DeconvSpec, SpecArrays
 from repro.designs.base import DeconvDesign
-from repro.errors import ParameterError
+from repro.errors import EvaluationTimeoutError, ParameterError
+from repro.reliability import failpoints
+from repro.reliability.policy import Deadline, RetryPolicy, is_retryable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (import cycle guard)
     from repro.eval.store import PackedSweepStore
@@ -511,6 +514,157 @@ def evaluate_design_job(job: DesignJob) -> DesignMetrics:
     return build_design_for_job(job).evaluate(job.layer_name)
 
 
+#: Policy the runners retry transient failures with when the caller
+#: passes none.  Small real backoff in production; tests inject a
+#: no-sleep policy (``repro.reliability.policy.no_sleep``).
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+def _pool_worker_init(points, seed: int) -> None:
+    """Arm a fresh pool worker with the parent's failpoint config.
+
+    Passed as the pool initializer so the configuration survives any
+    multiprocessing start method (spawned workers re-read only the
+    environment otherwise), and marks the process disposable so
+    ``crash``-mode failpoints hard-exit it — producing the real
+    ``BrokenProcessPool`` the runner's respawn/degrade path handles.
+    """
+    failpoints.configure_failpoints(points, seed=seed)
+    failpoints.mark_worker_process()
+
+
+def _evaluate_chunk(batch) -> list[DesignMetrics]:
+    """Pool task: one chunk of jobs, each behind the worker failpoint.
+
+    ``batch`` is ``(jobs, tokens, attempt)``; the ``pool.worker``
+    failpoint draws on ``(token, attempt)`` — pure values, so the fault
+    schedule is independent of chunking, worker count and which worker
+    the chunk lands on, and a retried chunk (``attempt`` bumped by the
+    parent) draws fresh.
+    """
+    jobs, tokens, attempt = batch
+    results = []
+    for job, token in zip(jobs, tokens):
+        failpoints.inject("pool.worker", token, attempt)
+        results.append(evaluate_design_job(job))
+    return results
+
+
+def _run_scalar_pool(
+    scalar_jobs: list[DesignJob],
+    workers: int,
+    chunksize: int,
+    policy: RetryPolicy,
+    deadline: Deadline,
+) -> list[DesignMetrics]:
+    """Futures-based pool execution with retry, respawn and degrade.
+
+    Replaces the old bare ``pool.map``: each chunk is a future whose
+    transient failures (injected or real ``OSError``, worker crashes)
+    retry per ``policy`` with deterministic backoff; a broken pool is
+    respawned once, and a second break degrades the remaining chunks to
+    in-process scalar execution (which runs no worker failpoints — the
+    degraded path is the recovery of last resort).  ``deadline`` bounds
+    the whole batch; expiry raises
+    :class:`~repro.errors.EvaluationTimeoutError`.
+    """
+    armed = failpoints.is_armed()
+    tokens = job_keys(scalar_jobs) if armed else [0] * len(scalar_jobs)
+    chunks = [
+        (
+            tuple(scalar_jobs[start : start + chunksize]),
+            tuple(tokens[start : start + chunksize]),
+        )
+        for start in range(0, len(scalar_jobs), chunksize)
+    ]
+    chunk_results: list[list[DesignMetrics] | None] = [None] * len(chunks)
+    attempts = [1] * len(chunks)
+    todo = set(range(len(chunks)))
+
+    def spawn() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_pool_worker_init,
+            initargs=(failpoints.active_failpoints(), failpoints.active_seed()),
+        )
+
+    pool = spawn()
+    respawns_left = 1
+    try:
+        while todo:
+            broken = False
+            try:
+                futures = {
+                    chunk_id: pool.submit(
+                        _evaluate_chunk,
+                        (
+                            chunks[chunk_id][0],
+                            chunks[chunk_id][1],
+                            attempts[chunk_id],
+                        ),
+                    )
+                    for chunk_id in sorted(todo)
+                }
+                for chunk_id in sorted(futures):
+                    try:
+                        chunk_results[chunk_id] = futures[chunk_id].result(
+                            timeout=deadline.remaining()
+                        )
+                        todo.discard(chunk_id)
+                    except EvaluationTimeoutError:
+                        raise
+                    except BrokenProcessPool:
+                        broken = True
+                        break
+                    except TimeoutError as exc:
+                        raise EvaluationTimeoutError(
+                            "run_design_jobs exceeded its timeout budget "
+                            f"with {len(todo)} of {len(chunks)} chunks pending"
+                        ) from exc
+                    except Exception as exc:
+                        if (
+                            is_retryable(exc)
+                            and attempts[chunk_id] < policy.max_attempts
+                        ):
+                            policy.sleeper(policy.delay_for(attempts[chunk_id]))
+                            attempts[chunk_id] += 1
+                        else:
+                            raise
+            except BrokenProcessPool:
+                broken = True
+            if broken:
+                pool.shutdown(wait=False, cancel_futures=True)
+                # Every surviving chunk draws fresh on the next round —
+                # under a high crash rate the respawned pool may break
+                # again, and the degraded path below must still
+                # terminate with correct results.
+                for chunk_id in todo:
+                    attempts[chunk_id] += 1
+                if respawns_left > 0:
+                    respawns_left -= 1
+                    pool = spawn()
+                else:
+                    for chunk_id in sorted(todo):
+                        deadline.check("run_design_jobs (degraded in-process)")
+                        chunk_results[chunk_id] = [
+                            evaluate_design_job(job)
+                            for job in chunks[chunk_id][0]
+                        ]
+                    todo.clear()
+        # Clean exit: join the workers so no teardown (worker exits,
+        # feeder/management threads) leaks past the call and competes
+        # with whatever the caller times or runs next.
+        pool.shutdown(wait=True)
+    finally:
+        # Exceptional exit (timeout, exhausted retries): don't block on
+        # workers that may still be mid-chunk — cancel and detach.
+        pool.shutdown(wait=False, cancel_futures=True)
+    evaluated: list[DesignMetrics] = []
+    for piece in chunk_results:
+        evaluated.extend(piece)  # type: ignore[arg-type]
+    return evaluated
+
+
 #: Payload class expected under each cache kind.
 _KIND_PAYLOADS: dict[str, type] = {
     METRICS_KIND: DesignMetrics,
@@ -642,13 +796,24 @@ class SweepCache:
         self._write(key or job_key(job, kind), value, kind)
 
     def _discard_corrupt(self, path: Path) -> None:
-        """Count a bad entry and unlink it so the slot gets rewritten."""
+        """Count a bad entry and quarantine it so the slot is rewritten.
+
+        The corrupt bytes move into ``quarantine/`` (out of the lookup
+        namespace but preserved for post-mortems) rather than being
+        destroyed; if even the move fails the entry is unlinked so a
+        poisoned slot can never wedge the cache.
+        """
         self.corrupt += 1
         self.misses += 1
+        quarantine = self.directory / "quarantine"
         try:
-            path.unlink()
+            quarantine.mkdir(exist_ok=True)
+            os.replace(path, quarantine / path.name)
         except OSError:
-            pass
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     def _write(self, key: str, value, kind: str) -> None:
         expected = _KIND_PAYLOADS[kind]
@@ -698,6 +863,8 @@ def run_design_jobs(
     cache: "SweepCache | PackedSweepStore | str | os.PathLike | None" = None,
     chunk_size: int | None = None,
     vectorized: bool = True,
+    timeout: float | None = None,
+    retry_policy: RetryPolicy | None = None,
 ) -> list[DesignMetrics]:
     """Evaluate every job, in order, optionally cached and in parallel.
 
@@ -720,6 +887,14 @@ def run_design_jobs(
             (design, tech).  ``False`` forces the scalar per-job path
             for everything — the bit-identical oracle the plane is
             property-tested against.
+        timeout: per-batch wall-clock budget in seconds (``None`` = no
+            budget); expiry raises
+            :class:`~repro.errors.EvaluationTimeoutError`.
+        retry_policy: how transient scalar-path failures (real or
+            injected ``OSError``, worker crashes) retry; defaults to
+            :data:`DEFAULT_RETRY_POLICY`.  A broken pool additionally
+            respawns once, then degrades the remaining work to
+            in-process execution.
 
     Returns:
         ``DesignMetrics`` in the same order as ``jobs``, independent of
@@ -735,6 +910,8 @@ def run_design_jobs(
         raise ParameterError(f"num_workers must be >= 1, got {num_workers}")
     if chunk_size is not None and chunk_size < 1:
         raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+    deadline = Deadline(timeout)
+    policy = retry_policy or DEFAULT_RETRY_POLICY
     cache = _coerce_cache(cache)
     results: list[DesignMetrics | None] = [None] * len(jobs)
     pending: list[int] = []
@@ -807,6 +984,7 @@ def run_design_jobs(
         if batch_positions:
             from repro.eval.vectorized import evaluate_design_jobs_batch
 
+            deadline.check("run_design_jobs (vectorized batch)")
             batched = evaluate_design_jobs_batch(
                 [unique_jobs[position] for position in batch_positions]
             )
@@ -821,13 +999,15 @@ def run_design_jobs(
             scalar_jobs = [unique_jobs[position] for position in scalar_positions]
             workers = min(num_workers, len(scalar_jobs))
             if workers == 1:
-                evaluated = [evaluate_design_job(job) for job in scalar_jobs]
+                evaluated = []
+                for job in scalar_jobs:
+                    deadline.check("run_design_jobs (scalar inline)")
+                    evaluated.append(evaluate_design_job(job))
             else:
                 chunksize = chunk_size or max(1, -(-len(scalar_jobs) // workers))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    evaluated = list(
-                        pool.map(evaluate_design_job, scalar_jobs, chunksize=chunksize)
-                    )
+                evaluated = _run_scalar_pool(
+                    scalar_jobs, workers, chunksize, policy, deadline
+                )
             for position, metrics in zip(scalar_positions, evaluated):
                 computed[position] = metrics
         if cache is not None:
@@ -850,6 +1030,8 @@ def run_cycle_jobs(
     cache: "SweepCache | PackedSweepStore | str | os.PathLike | None" = None,
     max_sub_crossbars: int = 128,
     dtype: str = "float64",
+    timeout: float | None = None,
+    retry_policy: RetryPolicy | None = None,
 ) -> list[CycleStats | None]:
     """Cycle-level companion to :func:`run_design_jobs`.
 
@@ -866,9 +1048,15 @@ def run_cycle_jobs(
     near-free.  Like :func:`run_design_jobs`, the store is touched
     once to probe and once to publish — each job's key is computed
     exactly once (:func:`job_keys`) and threaded from the probe through
-    grouping to the publish.
+    grouping to the publish.  ``timeout`` bounds the batch
+    (:class:`~repro.errors.EvaluationTimeoutError` on expiry, checked
+    at the batch boundaries) and ``retry_policy`` retries a transient
+    engine failure — the store applies its own publish retry/degrade
+    discipline internally.
     """
     jobs = list(jobs)
+    deadline = Deadline(timeout)
+    policy = retry_policy or DEFAULT_RETRY_POLICY
     cache = _coerce_cache(cache)
     results: list[CycleStats | None] = [None] * len(jobs)
     traceable = [
@@ -904,16 +1092,16 @@ def run_cycle_jobs(
             groups.setdefault(keys[index], []).append(index)
         unique_jobs = [jobs[indices[0]] for indices in groups.values()]
         engine = BatchEngine(max_sub_crossbars=max_sub_crossbars, dtype=dtype)
-        batch = engine.run(
-            [
-                BatchJob(
-                    spec=job.spec,
-                    fold="auto" if job.fold is None else job.fold,
-                    label=job.layer_name,
-                )
-                for job in unique_jobs
-            ]
-        )
+        deadline.check("run_cycle_jobs (batch engine)")
+        batch_jobs = [
+            BatchJob(
+                spec=job.spec,
+                fold="auto" if job.fold is None else job.fold,
+                label=job.layer_name,
+            )
+            for job in unique_jobs
+        ]
+        batch = policy.call(lambda: engine.run(batch_jobs))
         computed = [
             CycleStats(
                 design=resolve_design(job.design),
@@ -941,6 +1129,8 @@ def run_cycle_jobs(
 def run_fidelity_jobs(
     jobs: list[FidelityJob] | tuple[FidelityJob, ...],
     cache: "SweepCache | PackedSweepStore | str | os.PathLike | None" = None,
+    timeout: float | None = None,
+    retry_policy: RetryPolicy | None = None,
 ) -> list[FidelityStats]:
     """Monte-Carlo fidelity companion to :func:`run_design_jobs`.
 
@@ -959,8 +1149,13 @@ def run_fidelity_jobs(
     batched probe/publish discipline as the other runners: the store is
     touched at most twice, and each job's :func:`fidelity_job_key` is
     computed exactly once.  Returns :class:`FidelityStats` in job order.
+    ``timeout`` bounds the batch (checked per scenario group —
+    :class:`~repro.errors.EvaluationTimeoutError` on expiry) and
+    ``retry_policy`` retries a transient group-sampling failure.
     """
     jobs = list(jobs)
+    deadline = Deadline(timeout)
+    policy = retry_policy or DEFAULT_RETRY_POLICY
     cache = _coerce_cache(cache)
     results: list[FidelityStats | None] = [None] * len(jobs)
     keys: list[str] = []
@@ -1005,24 +1200,29 @@ def run_fidelity_jobs(
             ).append(index)
         published: dict[str, FidelityStats] = {}
         for points in groups.values():
+            deadline.check("run_fidelity_jobs (scenario group)")
             first = jobs[next(iter(points.values()))[0]]
-            profile = profile_for_design(
-                first.design,
-                first.spec,
-                first.tech,
-                adc_bits=first.adc_bits,
-                max_rows=first.max_rows,
-                max_cols=first.max_cols,
-            )
+
+            def sample_group(first=first, points=points):
+                profile = profile_for_design(
+                    first.design,
+                    first.spec,
+                    first.tech,
+                    adc_bits=first.adc_bits,
+                    max_rows=first.max_rows,
+                    max_cols=first.max_cols,
+                )
+                return sample_fidelity_grid(
+                    profile,
+                    list(points),
+                    nu=first.nu,
+                    programming_sigma=first.programming_sigma,
+                    read_noise_sigma=first.read_noise_sigma,
+                    stuck_at_rate=first.stuck_at_rate,
+                )
+
             point_list = list(points)
-            stats = sample_fidelity_grid(
-                profile,
-                point_list,
-                nu=first.nu,
-                programming_sigma=first.programming_sigma,
-                read_noise_sigma=first.read_noise_sigma,
-                stuck_at_rate=first.stuck_at_rate,
-            )
+            stats = policy.call(sample_group)
             for point, stat in zip(point_list, stats):
                 for index in points[point]:
                     results[index] = relabelled(stat, jobs[index].layer_name)

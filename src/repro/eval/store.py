@@ -81,6 +81,8 @@ from repro.eval.parallel import (
     job_key,
     relabelled,
 )
+from repro.reliability import failpoints
+from repro.reliability.policy import RetryPolicy
 
 _INDEX_MAGIC = b"REDPACK1\n"
 #: Index row: raw key (32), segment id (u32), offset (u64), length (u32).
@@ -113,6 +115,16 @@ class PackedSweepStore:
             over (one segment file per touched shard per batch).
         memory_entries: LRU hit-tier capacity in entries (``0``
             disables the tier).
+        retry_policy: how transient ``OSError`` during the index
+            publish retries (defaults to the reliability plane's
+            default policy).  When retries exhaust — or the store
+            directory is unwritable at open — the store enters a
+            counted read-only *degraded mode*: lookups keep serving
+            (disk and memory tiers), new results still populate the
+            memory tier, but nothing is written to disk
+            (:attr:`degraded` / :attr:`degraded_puts`); ``refresh()``
+            re-probes writability and leaves degraded mode when the
+            directory recovers.
 
     Statistics (``hits = memory_hits + disk_hits``, plus ``misses``,
     ``stores``, ``corrupt`` and ``migrated``) are plain attributes,
@@ -125,6 +137,7 @@ class PackedSweepStore:
         *,
         num_shards: int = 16,
         memory_entries: int = 65536,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if num_shards < 1:
             raise ParameterError(f"num_shards must be >= 1, got {num_shards}")
@@ -136,6 +149,7 @@ class PackedSweepStore:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.num_shards = num_shards
         self.memory_entries = memory_entries
+        self.retry_policy = retry_policy or RetryPolicy()
         self.hits = 0
         self.misses = 0
         self.stores = 0
@@ -143,6 +157,10 @@ class PackedSweepStore:
         self.migrated = 0
         self.memory_hits = 0
         self.disk_hits = 0
+        self.quarantined = 0
+        self.rebuilt_entries = 0
+        self.degraded_puts = 0
+        self.degraded = not os.access(self.directory, os.W_OK)
         self._lock = threading.Lock()
         self._segments: list[str] = []
         self._index: dict[bytes, tuple[int, int, int]] = {}
@@ -234,11 +252,13 @@ class PackedSweepStore:
                 # must NOT be scrubbed as corrupt.
                 unreadable += len(positions)
                 continue
+            payload = failpoints.corrupted("store.get_many", payload, raw)
             try:
                 value = pickle.loads(payload)
             except _DECODE_ERRORS:
                 value = None
             if value is None or not isinstance(value, expected):
+                self._quarantine(raw, payload)
                 corrupt.append((raw, location))
                 continue
             decoded.append((key, value, positions))
@@ -280,10 +300,17 @@ class PackedSweepStore:
             cached.append((key, value))
         if not serialized:
             return 0
-        self._publish(serialized)
+        published = False
+        if not self.degraded:
+            published = self._publish(serialized)
         with self._lock:
+            # Degraded or not, the batch still serves hits from the
+            # memory tier for the rest of this process's lifetime.
             for key, value in cached:
                 self._memory_insert_locked(key, value)
+        if not published:
+            self.degraded_puts += len(cached)
+            return 0
         self.stores += len(cached)
         return len(cached)
 
@@ -337,15 +364,25 @@ class PackedSweepStore:
             "stores": self.stores,
             "corrupt": self.corrupt,
             "migrated": self.migrated,
+            "quarantined": self.quarantined,
+            "rebuilt_entries": self.rebuilt_entries,
+            "degraded": int(self.degraded),
+            "degraded_puts": self.degraded_puts,
             "indexed_entries": len(self),
             "memory_entries_used": self.memory_size(),
             "segments": len(self._segments),
         }
 
     def refresh(self) -> None:
-        """Re-read the on-disk index (picks up other writers' batches)."""
+        """Re-read the on-disk index (picks up other writers' batches).
+
+        Also re-probes directory writability: a store that fell into
+        degraded mode leaves it here once the directory is writable
+        again (the next ``put_many`` publishes normally).
+        """
         with self._lock:
             self._maybe_reload_index_locked()
+        self.degraded = not os.access(self.directory, os.W_OK)
 
     def close(self) -> None:
         """Release mmap'd segments and the memory tier (idempotent)."""
@@ -387,9 +424,17 @@ class PackedSweepStore:
     def _read_index_file(
         self,
     ) -> tuple[list[str], dict[bytes, tuple[int, int, int]], tuple[int, int] | None]:
-        """``(segments, entries, stamp)`` from disk; empty when absent,
-        unreadable, or written under a different schema version (keys
-        embed the schema, so stale entries could never match anyway)."""
+        """``(segments, entries, stamp)`` from disk.
+
+        Empty when the index was written under a different schema
+        version (keys embed the schema, so stale entries could never
+        match anyway).  A *corrupt* index — bad magic, unparsable
+        manifest — or one missing while segment files exist is
+        recovered by :meth:`_rebuild_index_from_segments`: records are
+        self-describing, so the segments double as the recovery log.
+        Truncated trailing rows are simply dropped (every complete row
+        is still served).
+        """
         path = self._index_path
         try:
             with open(path, "rb") as handle:
@@ -401,14 +446,18 @@ class PackedSweepStore:
                 stat = os.fstat(handle.fileno())
                 data = handle.read()
         except OSError:
-            return [], {}, None
+            segments, entries = self._rebuild_index_from_segments()
+            return segments, entries, None
         stamp = (stat.st_mtime_ns, stat.st_size)
         try:
             if not data.startswith(_INDEX_MAGIC):
-                return [], {}, stamp
+                segments, entries = self._rebuild_index_from_segments()
+                return segments, entries, stamp
             header_end = data.index(b"\n", len(_INDEX_MAGIC))
             manifest = json.loads(data[len(_INDEX_MAGIC):header_end])
             if manifest.get("schema") != CACHE_SCHEMA_VERSION:
+                # Deliberate invalidation, not corruption: do not
+                # resurrect old-schema entries from the segments.
                 return [], {}, stamp
             segments = [str(name) for name in manifest["segments"]]
             rows = data[header_end + 1 :]
@@ -418,8 +467,48 @@ class PackedSweepStore:
                 for key, segment, offset, length in _ROW.iter_unpack(rows[:usable])
             }
         except (ValueError, KeyError, TypeError, struct.error):
-            return [], {}, stamp
+            segments, entries = self._rebuild_index_from_segments()
+            return segments, entries, stamp
         return segments, entries, stamp
+
+    def _rebuild_index_from_segments(
+        self,
+    ) -> tuple[list[str], dict[bytes, tuple[int, int, int]]]:
+        """Recover the index by scanning the self-describing segments.
+
+        Each record carries its own ``(raw key, payload length)``
+        header, so a lost or corrupt ``index.bin`` costs nothing but
+        this scan.  Segments are replayed oldest-first (mtime, then
+        name) so a key rewritten in a later batch wins, mirroring the
+        merge order of normal publishes; a truncated trailing record is
+        dropped.  Returns ``([], {})`` for a store with no segments —
+        i.e. a genuinely fresh directory rebuilds to empty.
+        """
+        stamped: list[tuple[int, str]] = []
+        for path in self.directory.glob("seg-*.seg"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            stamped.append((stat.st_mtime_ns, path.name))
+        stamped.sort()
+        segments = [name for _, name in stamped]
+        entries: dict[bytes, tuple[int, int, int]] = {}
+        for segment_id, name in enumerate(segments):
+            try:
+                data = (self.directory / name).read_bytes()
+            except OSError:
+                continue
+            offset = 0
+            while offset + _RECORD.size <= len(data):
+                raw, length = _RECORD.unpack_from(data, offset)
+                offset += _RECORD.size
+                if offset + length > len(data):
+                    break
+                entries[raw] = (segment_id, offset, length)
+                offset += length
+        self.rebuilt_entries = len(entries)
+        return segments, entries
 
     def _reload_index_locked(self) -> None:
         self._segments, self._index, self._index_stamp = self._read_index_file()
@@ -436,13 +525,45 @@ class PackedSweepStore:
         self._reload_index_locked()
         return True
 
-    def _publish(self, serialized: list[tuple[bytes, bytes]]) -> None:
+    def _publish(self, serialized: list[tuple[bytes, bytes]]) -> bool:
         """Append a batch to new segments and publish the merged index.
 
-        Runs the read-merge-publish cycle under the writer lock: the
-        on-disk index is re-read (another process may have published
-        since), the batch is appended as one segment per touched shard,
-        and the merged index replaces ``index.bin`` atomically.
+        Transient ``OSError`` (real or injected — the
+        ``store.put_many`` / ``store.index.publish`` failpoints fire
+        inside the retried section) retries per :attr:`retry_policy`
+        with deterministic backoff; segments written by a failed
+        attempt are never referenced by any index, so a retry can only
+        orphan bytes, never corrupt state.  When retries exhaust the
+        store enters degraded mode and returns ``False`` — the caller
+        counts the skipped batch; the merged-index invariants are
+        untouched.
+        """
+        policy = self.retry_policy
+        fail_token = serialized[0][0] if serialized else b""
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                failpoints.inject("store.put_many", fail_token, attempt)
+                self._publish_once(serialized, fail_token, attempt)
+                return True
+            except OSError:
+                if attempt >= policy.max_attempts:
+                    self.degraded = True
+                    return False
+                policy.sleeper(policy.delay_for(attempt))
+        return False  # pragma: no cover - loop always returns
+
+    def _publish_once(
+        self,
+        serialized: list[tuple[bytes, bytes]],
+        fail_token: bytes = b"",
+        attempt: int = 1,
+    ) -> None:
+        """One read-merge-publish cycle under the writer lock.
+
+        The on-disk index is re-read (another process may have
+        published since), the batch is appended as one segment per
+        touched shard, and the merged index replaces ``index.bin``
+        atomically.
         """
         with self._lock:
             dead = dict(self._dead)
@@ -468,6 +589,7 @@ class PackedSweepStore:
                 segment_id = len(segments) - 1
                 for raw, offset, length in locations:
                     entries[raw] = (segment_id, offset, length)
+            failpoints.inject("store.index.publish", fail_token, attempt)
             self._write_index(segments, entries)
             try:
                 stat = self._index_path.stat()
@@ -555,6 +677,25 @@ class PackedSweepStore:
             return None
         return payload
 
+    def _quarantine(self, raw: bytes, payload: bytes) -> None:
+        """Preserve a corrupt payload under ``quarantine/<key>.bin``.
+
+        Corrupt entries leave the lookup namespace (the live index drops
+        them, the next publish scrubs them) but their bytes are kept for
+        post-mortems instead of being destroyed.  Best-effort and
+        read-only-safe: quarantine I/O failures never break a lookup,
+        and nothing is written in degraded mode.
+        """
+        self.quarantined += 1
+        if self.degraded:
+            return
+        quarantine = self.directory / "quarantine"
+        try:
+            quarantine.mkdir(exist_ok=True)
+            (quarantine / f"{raw.hex()}.bin").write_bytes(payload)
+        except OSError:
+            pass
+
     def _discard_corrupt_locked(
         self, raw: bytes, location: tuple[int, int, int]
     ) -> None:
@@ -600,6 +741,8 @@ class PackedSweepStore:
         — their keys embed the old schema tag, which is exactly how a
         schema bump invalidates stale results.
         """
+        if self.degraded:
+            return
         imported: list[tuple[bytes, bytes]] = []
         migrated = 0
         for path in sorted(self.directory.glob("*.pkl")):
@@ -618,10 +761,11 @@ class PackedSweepStore:
             except OSError:  # pragma: no cover - racing unlink
                 continue
             if len(imported) >= self._MIGRATION_CHUNK:
-                self._publish(imported)
+                if not self._publish(imported):
+                    self.migrated = migrated
+                    return
                 migrated += len(imported)
                 imported = []
-        if imported:
-            self._publish(imported)
+        if imported and self._publish(imported):
             migrated += len(imported)
         self.migrated = migrated

@@ -449,3 +449,100 @@ class TestNondeterminismRule:
             },
         )
         assert report.findings == []
+
+
+class TestSwallowRule:
+    def test_bare_except_flagged(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            {
+                "src/repro/eval/mod.py": """\
+                def load(path):
+                    try:
+                        return open(path).read()
+                    except:
+                        return None
+                """
+            },
+        )
+        assert rules_hit(report) == {"RED007"}
+        assert "bare" in report.findings[0].message
+
+    def test_broad_handler_without_raise_flagged(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            {
+                "src/repro/utils/mod.py": """\
+                def best_effort(fn):
+                    try:
+                        fn()
+                    except Exception:
+                        pass
+                """
+            },
+        )
+        assert rules_hit(report) == {"RED007"}
+
+    def test_broad_handler_in_tuple_flagged(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            {
+                "src/repro/core/mod.py": """\
+                def run(fn):
+                    try:
+                        return fn()
+                    except (ValueError, BaseException):
+                        return None
+                """
+            },
+        )
+        assert rules_hit(report) == {"RED007"}
+
+    def test_routing_handler_clean(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            {
+                "src/repro/eval/mod.py": """\
+                def call(fn, retryable):
+                    try:
+                        return fn()
+                    except Exception as exc:
+                        if not retryable(exc):
+                            raise
+                        return None
+                """
+            },
+        )
+        assert report.findings == []
+
+    def test_narrowed_handler_clean(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            {
+                "src/repro/eval/mod.py": """\
+                import os
+
+                def cleanup(path):
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+                """
+            },
+        )
+        assert report.findings == []
+
+    def test_benchmarks_out_of_scope(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            {
+                "benchmarks/bench_mod.py": """\
+                def best_effort(fn):
+                    try:
+                        fn()
+                    except Exception:
+                        pass
+                """
+            },
+        )
+        assert report.findings == []

@@ -81,7 +81,9 @@ class TestCommandLine:
     def test_cli_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("RED001", "RED002", "RED003", "RED004", "RED005", "RED006"):
+        for rule_id in (
+            "RED001", "RED002", "RED003", "RED004", "RED005", "RED006", "RED007",
+        ):
             assert rule_id in out
 
     def test_module_entry_point_runs(self, tmp_path):

@@ -14,6 +14,7 @@ from hypothesis import strategies as st
 from repro.api.schema import (
     SCHEMA_VERSION,
     CommandPayload,
+    ErrorInfo,
     EvaluationRequest,
     EvaluationResult,
     FidelityPoint,
@@ -157,6 +158,14 @@ sweep_requests = st.builds(
     tech_overrides=overrides,
 )
 
+error_infos = st.builds(
+    ErrorInfo,
+    error_type=names,
+    message=st.text(max_size=40),
+    retryable=st.booleans(),
+    source=st.one_of(st.just(""), names),
+)
+
 sweep_results = st.builds(
     SweepResult,
     points=st.lists(
@@ -171,6 +180,7 @@ sweep_results = st.builds(
         max_size=5,
     ).map(tuple),
     fitted_exponent=st.one_of(st.none(), finite),
+    failures=st.lists(error_infos, max_size=3).map(tuple),
 )
 
 network_requests = st.builds(
@@ -300,6 +310,7 @@ all_payloads = st.one_of(
     fidelity_requests,
     fidelity_results(),
     command_payloads,
+    error_infos,
 )
 
 
@@ -327,6 +338,7 @@ class TestRoundTrip:
             "evaluation_request", "evaluation_result", "sweep_request",
             "sweep_result", "network_request", "network_result",
             "fidelity_request", "fidelity_result", "command_result",
+            "error_info",
         )
         json.dumps(wire)  # must not raise
 
@@ -466,3 +478,45 @@ class TestFidelityValidation:
         wire["surprise"] = 1
         with pytest.raises(SchemaError, match="surprise"):
             FidelityRequest.from_dict(wire)
+
+
+class TestErrorInfo:
+    def test_from_exception_transient(self):
+        info = ErrorInfo.from_exception(OSError("disk full"), source="stride=4")
+        assert info.error_type == "OSError"
+        assert info.message == "disk full"
+        assert info.retryable
+        assert info.source == "stride=4"
+
+    def test_from_exception_permanent(self):
+        info = ErrorInfo.from_exception(ShapeError("bad"))
+        assert info.error_type == "ShapeError"
+        assert not info.retryable
+        assert info.source == ""
+
+    def test_empty_error_type_rejected(self):
+        with pytest.raises(SchemaError, match="error_type"):
+            ErrorInfo(error_type="", message="x")
+
+    def test_non_bool_retryable_rejected(self):
+        with pytest.raises(SchemaError, match="retryable"):
+            ErrorInfo(error_type="OSError", message="x", retryable=1)
+
+    def test_unknown_key_rejected(self):
+        wire = ErrorInfo(error_type="OSError", message="x").to_dict()
+        wire["surprise"] = 1
+        with pytest.raises(SchemaError, match="surprise"):
+            ErrorInfo.from_dict(wire)
+
+    def test_sweep_result_failures_must_hold_error_info(self):
+        with pytest.raises(SchemaError, match="ErrorInfo"):
+            SweepResult(points=(), failures=("stride=2",))
+
+    def test_sweep_result_omits_empty_failures_on_wire(self):
+        wire = SweepResult(points=()).to_dict()
+        assert "failures" not in wire
+
+    def test_payload_dispatch_rebuilds_error_info(self):
+        info = ErrorInfo.from_exception(OSError("boom"), source="cli")
+        wire = json.loads(json.dumps(info.to_dict()))
+        assert payload_from_dict(wire) == info

@@ -18,7 +18,7 @@ from repro.api.schema import (
 from repro.api.service import RedService
 from repro.arch.tech import default_tech
 from repro.deconv.shapes import DeconvSpec
-from repro.errors import SchemaError, UnknownDesignError
+from repro.errors import SchemaError, ServiceClosedError, UnknownDesignError
 from repro.eval.parallel import CYCLES_KIND, DesignJob, SweepCache, job_key
 from repro.eval.store import PackedSweepStore
 
@@ -268,13 +268,14 @@ class TestConcurrency:
         with pytest.raises(SchemaError):
             service.submit({"layer": "GAN_Deconv1"})
 
-    def test_close_is_idempotent_and_reusable(self):
+    def test_close_is_idempotent_and_retires_submit(self):
         service = RedService()
-        service.close()
         future = service.submit(EvaluationRequest(spec=SPEC))
         assert isinstance(future.result(), EvaluationResult)
         service.close()
         service.close()
+        with pytest.raises(ServiceClosedError):
+            service.submit(EvaluationRequest(spec=SPEC))
 
     def test_concurrent_requests_share_one_cache(self, tmp_path):
         with RedService(cache=tmp_path, service_threads=4) as service:

@@ -109,3 +109,38 @@ class TestJsonOutput:
         assert main(["fig7"]) == 0
         out = capsys.readouterr().out
         assert "schema_version" not in out
+
+
+class TestErrorBoundary:
+    """ReproError surfaces as exit 2: one stderr line, or an ErrorInfo."""
+
+    def test_unknown_network_exits_two_with_one_line(self, capsys):
+        assert main(["network", "no-such-network"]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        lines = captured.err.strip().splitlines()
+        assert len(lines) == 1
+        assert lines[0].startswith("repro network: error:")
+        assert "no-such-network" in lines[0]
+
+    def test_json_error_envelope(self, capsys):
+        assert main(["network", "no-such-network", "--json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "error_info"
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["error_type"] == "SchemaError"
+        assert payload["source"] == "network"
+        assert payload["retryable"] is False
+        rebuilt = payload_from_dict(payload)
+        assert rebuilt.to_dict() == payload
+
+    def test_bad_sweep_strides_exit_two(self, capsys):
+        assert main(["sweep", "--strides", "0,2"]) == 2
+        err = capsys.readouterr().err
+        assert "repro sweep: error:" in err
+
+    def test_non_repro_errors_still_propagate(self):
+        # Only ReproError is the CLI's to translate; anything else is a
+        # bug and must surface as a traceback, not a tidy envelope.
+        with pytest.raises(SystemExit):
+            main(["network", "--bogus-flag"])
