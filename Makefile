@@ -3,6 +3,7 @@
 #   make test        - full test suite (collection regressions fail fast)
 #   make lint        - byte-compile + ruff check (API-surface regressions)
 #   make chaos       - reliability suite under an ambient fault matrix
+#   make serve-chaos - serving suite clean + under a serving fault matrix
 #   make bench-smoke - quick-mode batch-engine benchmark (ISSUE-1 gate)
 #   make bench       - full benchmark suite with reproduced paper tables
 #   make verify      - what CI runs
@@ -10,7 +11,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: test lint chaos bench-smoke bench verify
+.PHONY: test lint chaos serve-chaos bench-smoke bench verify
 
 test:
 	python -m pytest -x -q
@@ -34,22 +35,33 @@ lint:
 # (src/repro/reliability/README.md documents the spec grammar).  Tests
 # that pin their own failpoints are immune to the ambient matrix; the
 # ambient-environment test runs its recovery check under it for real.
-chaos:
+chaos: serve-chaos
 	python -m pytest tests/reliability -q
 	RED_FAILPOINTS="pool.worker:io_error@0.1;store.put_many:io_error@0.3;store.get_many:corrupt@0.3" \
 	RED_FAILPOINT_SEED=7 \
 	python -m pytest tests/reliability -q
 
+# Serving chaos gate (ISSUE-10): the serving suite twice — once clean,
+# once with crash/io_error faults armed at the plane's own failpoint
+# sites (serving.accept / serving.shard_call / serving.merge).  Shard
+# crashes here are real os._exit(86) deaths; the supervisor's respawn
+# budget and the degraded tier carry the suite through them.
+serve-chaos:
+	python -m pytest tests/serving -q
+	RED_FAILPOINTS="serving.shard_call:crash@0.3;serving.accept:io_error@0.2;serving.merge:io_error@0.1" \
+	RED_FAILPOINT_SEED=11 \
+	python -m pytest tests/serving -q
+
 bench-smoke:
-	RED_BENCH_QUICK=1 python -m pytest benchmarks/bench_batch_engine.py benchmarks/bench_cycle_compile.py benchmarks/bench_sweep_vectorized.py benchmarks/bench_cache_plane.py benchmarks/bench_device_plane.py benchmarks/bench_resilience.py -q
+	RED_BENCH_QUICK=1 python -m pytest benchmarks/bench_batch_engine.py benchmarks/bench_cycle_compile.py benchmarks/bench_sweep_vectorized.py benchmarks/bench_cache_plane.py benchmarks/bench_device_plane.py benchmarks/bench_resilience.py benchmarks/bench_serving.py -q
 
 # bench_batch_engine.py / bench_cycle_compile.py / bench_sweep_vectorized.py
-# / bench_cache_plane.py / bench_device_plane.py / bench_resilience.py time
-# wall-clock manually (no pytest-benchmark fixture), so --benchmark-only
-# would skip them; run them separately to keep the full-mode gates in the
-# target.
+# / bench_cache_plane.py / bench_device_plane.py / bench_resilience.py /
+# bench_serving.py time wall-clock manually (no pytest-benchmark fixture),
+# so --benchmark-only would skip them; run them separately to keep the
+# full-mode gates in the target.
 bench:
 	python -m pytest benchmarks/ -o python_files="bench_*.py" --benchmark-only -s
-	python -m pytest benchmarks/bench_batch_engine.py benchmarks/bench_cycle_compile.py benchmarks/bench_sweep_vectorized.py benchmarks/bench_cache_plane.py benchmarks/bench_device_plane.py benchmarks/bench_resilience.py -q -s
+	python -m pytest benchmarks/bench_batch_engine.py benchmarks/bench_cycle_compile.py benchmarks/bench_sweep_vectorized.py benchmarks/bench_cache_plane.py benchmarks/bench_device_plane.py benchmarks/bench_resilience.py benchmarks/bench_serving.py -q -s
 
 verify: lint test chaos bench-smoke

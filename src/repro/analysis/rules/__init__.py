@@ -1,4 +1,4 @@
-"""The contract-rule catalogue (RED001-RED007).
+"""The contract-rule catalogue (RED001-RED008).
 
 Each module here encodes one substrate invariant established by an
 earlier PR; see the per-module docstrings and ``../README.md`` for the
@@ -11,6 +11,7 @@ between :meth:`~repro.analysis.engine.Rule.check` and
 from __future__ import annotations
 
 from repro.analysis.engine import Rule
+from repro.analysis.rules.blocking import BlockingAsyncRule
 from repro.analysis.rules.nondeterminism import NondeterminismRule
 from repro.analysis.rules.oracle import OraclePurityRule
 from repro.analysis.rules.registry import RegistryRule
@@ -20,6 +21,7 @@ from repro.analysis.rules.store import StoreDisciplineRule
 from repro.analysis.rules.swallow import SwallowRule
 
 __all__ = [
+    "BlockingAsyncRule",
     "NondeterminismRule",
     "OraclePurityRule",
     "RegistryRule",
@@ -41,4 +43,5 @@ def default_rules() -> list[Rule]:
         OraclePurityRule(),
         NondeterminismRule(),
         SwallowRule(),
+        BlockingAsyncRule(),
     ]

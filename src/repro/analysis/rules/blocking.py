@@ -1,0 +1,114 @@
+"""RED008: no blocking calls inside ``async def`` bodies.
+
+The serving plane (PR 9) runs its front door on a single asyncio event
+loop: one coroutine calling ``time.sleep`` or doing synchronous store
+or subprocess IO stalls *every* in-flight request, which defeats the
+admission gate's fairness and turns a per-request deadline into a
+whole-plane outage.  All blocking work therefore crosses into the
+thread pool via ``run_in_executor`` — the loop itself only parses,
+routes, and awaits.
+
+Inside ``repro.*``, a call appearing directly in an ``async def`` body
+is a finding when it names a known-blocking primitive:
+
+* ``time.sleep`` (use ``asyncio.sleep`` or the executor);
+* synchronous process machinery — ``subprocess.run`` / ``call`` /
+  ``check_call`` / ``check_output`` / ``Popen``, ``os.system``,
+  ``os.popen``, ``os.waitpid``;
+* synchronous network/file IO — builtin ``open``, ``input``,
+  ``socket.create_connection``, ``urllib.request.urlopen``.
+
+Statements inside *nested* function definitions are out of scope: a
+``def`` declared inside a coroutine is routinely handed to an executor
+or a signal handler, where blocking is the point.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleSource, Rule
+
+#: Dotted call targets that block the calling thread.
+BLOCKING_DOTTED = frozenset(
+    {
+        "time.sleep",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "os.system",
+        "os.popen",
+        "os.waitpid",
+        "socket.create_connection",
+        "urllib.request.urlopen",
+    }
+)
+
+#: Bare builtins that block the calling thread.
+BLOCKING_NAMES = frozenset({"open", "input"})
+
+
+def _dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` as a string, or None for non-trivial expressions."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _async_body_calls(fn: ast.AsyncFunctionDef) -> Iterator[ast.Call]:
+    """Calls lexically in the coroutine body, skipping nested defs."""
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue  # nested callables run wherever they are dispatched
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class BlockingAsyncRule(Rule):
+    rule_id = "RED008"
+    summary = (
+        "no blocking calls inside 'async def' bodies: time.sleep, "
+        "synchronous subprocess/file/socket IO must cross into the "
+        "executor, never run on the event loop"
+    )
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        parts = module.module_parts
+        return len(parts) >= 1 and parts[0] == "repro"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        tree = module.tree
+        assert tree is not None
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for call in _async_body_calls(node):
+                target = _dotted_name(call.func)
+                blocked = (
+                    target in BLOCKING_DOTTED
+                    or (
+                        isinstance(call.func, ast.Name)
+                        and call.func.id in BLOCKING_NAMES
+                    )
+                )
+                if blocked:
+                    label = target or getattr(call.func, "id", "<call>")
+                    yield self.finding(
+                        module,
+                        call,
+                        f"blocking call '{label}' inside coroutine "
+                        f"'{node.name}' stalls the event loop; move it "
+                        "behind loop.run_in_executor (or use the asyncio "
+                        "equivalent)",
+                    )

@@ -5,7 +5,10 @@ Every payload that crosses the service boundary — CLI ``--json`` output,
 records — is one of the frozen dataclasses below.  Each type:
 
 * carries a ``schema_version`` field (:data:`SCHEMA_VERSION`) so readers
-  can reject payloads from a different API generation;
+  can reject payloads from an unsupported API generation — every
+  version in :data:`SUPPORTED_SCHEMA_VERSIONS` still parses, and a
+  parsed payload keeps the version it arrived with so v1 round-trips
+  stay v1 (:func:`downgrade_payload` rewrites v2 trees for v1 readers);
 * round-trips exactly: ``T.from_dict(t.to_dict()) == t``, including
   through ``json.dumps``/``json.loads`` (property-tested in
   ``tests/api/test_schema.py``);
@@ -36,8 +39,14 @@ from repro.errors import SchemaError
 from repro.eval.parallel import CycleStats
 
 #: The current request/response schema generation.  Bump on any change
-#: to the payload shapes below.
-SCHEMA_VERSION = 1
+#: to the payload shapes below.  Version 2 added the serving plane's
+#: ``ErrorInfo.retry_after_s`` overload-backoff hint.
+SCHEMA_VERSION = 2
+
+#: Every generation this library still parses.  Version 1 payloads
+#: (no ``retry_after_s``) remain readable and round-trip unchanged, so
+#: v1 clients keep working against a v2 server.
+SUPPORTED_SCHEMA_VERSIONS = frozenset({1, 2})
 
 _TECH_FIELDS = frozenset(f.name for f in fields(TechnologyParams))
 
@@ -63,10 +72,18 @@ def _check_keys(payload: dict, kind: str, required: frozenset, optional: frozens
 
 def _check_version(payload: dict, kind: str) -> None:
     version = payload.get("schema_version")
-    if version != SCHEMA_VERSION:
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
         raise SchemaError(
             f"{kind} payload has schema_version {version!r}; "
-            f"this library speaks version {SCHEMA_VERSION}"
+            f"this library speaks versions {sorted(SUPPORTED_SCHEMA_VERSIONS)}"
+        )
+
+
+def _check_instance_version(kind: str, version) -> None:
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
+        raise SchemaError(
+            f"{kind} schema_version {version!r} is not one of the "
+            f"supported versions {sorted(SUPPORTED_SCHEMA_VERSIONS)}"
         )
 
 
@@ -261,10 +278,7 @@ class EvaluationRequest:
     schema_version: int = SCHEMA_VERSION
 
     def __post_init__(self) -> None:
-        if self.schema_version != SCHEMA_VERSION:
-            raise SchemaError(
-                f"EvaluationRequest schema_version {self.schema_version!r} != {SCHEMA_VERSION}"
-            )
+        _check_instance_version("EvaluationRequest", self.schema_version)
         if (self.layer is None) == (self.spec is None):
             raise SchemaError(
                 "exactly one of 'layer' (a benchmark-layer name) or 'spec' "
@@ -318,6 +332,7 @@ class EvaluationRequest:
             tech_overrides=payload.get("tech_overrides", ()),
             trace=bool(payload.get("trace", False)),
             layer_name=str(payload.get("layer_name", "")),
+            schema_version=payload["schema_version"],
         )
 
 
@@ -341,10 +356,7 @@ class EvaluationResult:
     schema_version: int = SCHEMA_VERSION
 
     def __post_init__(self) -> None:
-        if self.schema_version != SCHEMA_VERSION:
-            raise SchemaError(
-                f"EvaluationResult schema_version {self.schema_version!r} != {SCHEMA_VERSION}"
-            )
+        _check_instance_version("EvaluationResult", self.schema_version)
         object.__setattr__(self, "designs", tuple(self.designs))
         object.__setattr__(self, "metrics", tuple(self.metrics))
         object.__setattr__(self, "cycle_stats", tuple(self.cycle_stats))
@@ -395,6 +407,7 @@ class EvaluationResult:
                 None if s is None else cycle_stats_from_dict(s)
                 for s in payload.get("cycle_stats", ())
             ),
+            schema_version=payload["schema_version"],
         )
 
 
@@ -417,10 +430,7 @@ class SweepRequest:
     schema_version: int = SCHEMA_VERSION
 
     def __post_init__(self) -> None:
-        if self.schema_version != SCHEMA_VERSION:
-            raise SchemaError(
-                f"SweepRequest schema_version {self.schema_version!r} != {SCHEMA_VERSION}"
-            )
+        _check_instance_version("SweepRequest", self.schema_version)
         try:
             strides = tuple(int(s) for s in self.strides)
         except (TypeError, ValueError):
@@ -476,7 +486,11 @@ class SweepRequest:
         }
         if "strides" in kwargs:
             kwargs["strides"] = tuple(kwargs["strides"])
-        return cls(tech_overrides=payload.get("tech_overrides", ()), **kwargs)
+        return cls(
+            tech_overrides=payload.get("tech_overrides", ()),
+            schema_version=payload["schema_version"],
+            **kwargs,
+        )
 
 
 @dataclass(frozen=True)
@@ -510,25 +524,25 @@ class SweepPoint:
 class ErrorInfo:
     """A failure, as it travels on the wire.
 
-    The error envelope the future serving fabric round-trips: enough to
+    The error envelope the serving plane round-trips: enough to
     classify (``error_type``), display (``message``), locate
-    (``source`` — a stage or stride label) and react (``retryable``,
-    per the taxonomy in :mod:`repro.errors`).  Carried standalone by
-    the CLI's ``--json`` error boundary and embedded in partial results
-    (:attr:`SweepResult.failures`).
+    (``source`` — a stage, stride or shard label) and react
+    (``retryable``, per the taxonomy in :mod:`repro.errors`, plus the
+    ``retry_after_s`` backoff hint deterministic load shedding
+    attaches — a schema v2 addition, rejected at v1).  Carried
+    standalone by the CLI's ``--json`` error boundary and embedded in
+    partial results (:attr:`SweepResult.failures`).
     """
 
     error_type: str
     message: str
     retryable: bool = False
     source: str = ""
+    retry_after_s: float | None = None
     schema_version: int = SCHEMA_VERSION
 
     def __post_init__(self) -> None:
-        if self.schema_version != SCHEMA_VERSION:
-            raise SchemaError(
-                f"ErrorInfo schema_version {self.schema_version!r} != {SCHEMA_VERSION}"
-            )
+        _check_instance_version("ErrorInfo", self.schema_version)
         if not isinstance(self.error_type, str) or not self.error_type:
             raise SchemaError(
                 f"error_type must be a non-empty string, got {self.error_type!r}"
@@ -539,6 +553,22 @@ class ErrorInfo:
             raise SchemaError(f"retryable must be a bool, got {self.retryable!r}")
         if not isinstance(self.source, str):
             raise SchemaError(f"source must be a string, got {self.source!r}")
+        if self.retry_after_s is not None:
+            if (
+                not isinstance(self.retry_after_s, (int, float))
+                or isinstance(self.retry_after_s, bool)
+                or not self.retry_after_s > 0
+            ):
+                raise SchemaError(
+                    f"retry_after_s must be a positive number or None, "
+                    f"got {self.retry_after_s!r}"
+                )
+            if self.schema_version < 2:
+                raise SchemaError(
+                    "retry_after_s requires schema_version >= 2, "
+                    f"got version {self.schema_version}"
+                )
+            object.__setattr__(self, "retry_after_s", float(self.retry_after_s))
 
     @classmethod
     def from_exception(cls, exc: BaseException, source: str = "") -> "ErrorInfo":
@@ -546,19 +576,32 @@ class ErrorInfo:
 
         ``retryable`` comes from the reliability plane's
         transient/permanent split
-        (:func:`repro.reliability.policy.is_retryable`).
+        (:func:`repro.reliability.policy.is_retryable`), following one
+        level of ``__cause__`` so the transient bit survives
+        service-tier wrapping (``raise RichError from
+        BrokenProcessPool``).  ``retry_after_s`` is lifted off the
+        exception when it carries one
+        (:class:`~repro.errors.OverloadedError`).
         """
         from repro.reliability.policy import is_retryable
 
+        retry_after_s = getattr(exc, "retry_after_s", None)
+        if (
+            not isinstance(retry_after_s, (int, float))
+            or isinstance(retry_after_s, bool)
+            or retry_after_s <= 0
+        ):
+            retry_after_s = None
         return cls(
             error_type=type(exc).__name__,
             message=str(exc),
-            retryable=is_retryable(exc),
+            retryable=is_retryable(exc, follow_cause=True),
             source=source,
+            retry_after_s=retry_after_s,
         )
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "kind": "error_info",
             "schema_version": self.schema_version,
             "error_type": self.error_type,
@@ -566,6 +609,9 @@ class ErrorInfo:
             "retryable": self.retryable,
             "source": self.source,
         }
+        if self.retry_after_s is not None:
+            payload["retry_after_s"] = self.retry_after_s
+        return payload
 
     @classmethod
     def from_dict(cls, payload) -> "ErrorInfo":
@@ -576,13 +622,15 @@ class ErrorInfo:
             payload,
             "error_info",
             frozenset({"schema_version", "error_type", "message"}),
-            frozenset({"kind", "retryable", "source"}),
+            frozenset({"kind", "retryable", "source", "retry_after_s"}),
         )
         return cls(
             error_type=payload["error_type"],
             message=payload["message"],
             retryable=bool(payload.get("retryable", False)),
             source=str(payload.get("source", "")),
+            retry_after_s=payload.get("retry_after_s"),
+            schema_version=payload["schema_version"],
         )
 
 
@@ -607,10 +655,7 @@ class SweepResult:
     schema_version: int = SCHEMA_VERSION
 
     def __post_init__(self) -> None:
-        if self.schema_version != SCHEMA_VERSION:
-            raise SchemaError(
-                f"SweepResult schema_version {self.schema_version!r} != {SCHEMA_VERSION}"
-            )
+        _check_instance_version("SweepResult", self.schema_version)
         object.__setattr__(self, "points", tuple(self.points))
         failures = tuple(self.failures)
         for failure in failures:
@@ -649,6 +694,7 @@ class SweepResult:
             failures=tuple(
                 ErrorInfo.from_dict(f) for f in payload.get("failures", ())
             ),
+            schema_version=payload["schema_version"],
         )
 
 
@@ -679,10 +725,7 @@ class NetworkRequest:
     schema_version: int = SCHEMA_VERSION
 
     def __post_init__(self) -> None:
-        if self.schema_version != SCHEMA_VERSION:
-            raise SchemaError(
-                f"NetworkRequest schema_version {self.schema_version!r} != {SCHEMA_VERSION}"
-            )
+        _check_instance_version("NetworkRequest", self.schema_version)
         if not isinstance(self.network, str) or not self.network:
             raise SchemaError(f"network must be a non-empty string, got {self.network!r}")
         for name in ("batch", "input_height", "input_width"):
@@ -736,6 +779,7 @@ class NetworkRequest:
             network=str(payload["network"]),
             designs=tuple(payload.get("designs", ())),
             tech_overrides=payload.get("tech_overrides", ()),
+            schema_version=payload["schema_version"],
             **kwargs,
         )
 
@@ -802,10 +846,7 @@ class NetworkResult:
     schema_version: int = SCHEMA_VERSION
 
     def __post_init__(self) -> None:
-        if self.schema_version != SCHEMA_VERSION:
-            raise SchemaError(
-                f"NetworkResult schema_version {self.schema_version!r} != {SCHEMA_VERSION}"
-            )
+        _check_instance_version("NetworkResult", self.schema_version)
         for name in ("layers", "designs", "layer_results", "summaries"):
             object.__setattr__(self, name, tuple(getattr(self, name)))
 
@@ -853,6 +894,7 @@ class NetworkResult:
             summaries=tuple(
                 NetworkDesignSummary.from_dict(s) for s in payload["summaries"]
             ),
+            schema_version=payload["schema_version"],
         )
 
 
@@ -904,10 +946,7 @@ class FidelityRequest:
     schema_version: int = SCHEMA_VERSION
 
     def __post_init__(self) -> None:
-        if self.schema_version != SCHEMA_VERSION:
-            raise SchemaError(
-                f"FidelityRequest schema_version {self.schema_version!r} != {SCHEMA_VERSION}"
-            )
+        _check_instance_version("FidelityRequest", self.schema_version)
         if (self.layer is None) == (self.spec is None):
             raise SchemaError(
                 "exactly one of 'layer' (a benchmark-layer name) or 'spec' "
@@ -1010,6 +1049,7 @@ class FidelityRequest:
             designs=tuple(payload.get("designs", ())),
             tech_overrides=payload.get("tech_overrides", ()),
             layer_name=str(payload.get("layer_name", "")),
+            schema_version=payload["schema_version"],
             **kwargs,
         )
 
@@ -1066,10 +1106,7 @@ class FidelityResult:
     schema_version: int = SCHEMA_VERSION
 
     def __post_init__(self) -> None:
-        if self.schema_version != SCHEMA_VERSION:
-            raise SchemaError(
-                f"FidelityResult schema_version {self.schema_version!r} != {SCHEMA_VERSION}"
-            )
+        _check_instance_version("FidelityResult", self.schema_version)
         object.__setattr__(self, "designs", tuple(self.designs))
         object.__setattr__(self, "energy_j", tuple(float(e) for e in self.energy_j))
         object.__setattr__(self, "points", tuple(self.points))
@@ -1117,6 +1154,7 @@ class FidelityResult:
             designs=tuple(str(d) for d in payload["designs"]),
             energy_j=tuple(float(e) for e in payload["energy_j"]),
             points=tuple(FidelityPoint.from_dict(p) for p in payload["points"]),
+            schema_version=payload["schema_version"],
         )
 
 
@@ -1140,10 +1178,7 @@ class CommandPayload:
     schema_version: int = SCHEMA_VERSION
 
     def __post_init__(self) -> None:
-        if self.schema_version != SCHEMA_VERSION:
-            raise SchemaError(
-                f"CommandPayload schema_version {self.schema_version!r} != {SCHEMA_VERSION}"
-            )
+        _check_instance_version("CommandPayload", self.schema_version)
         if not isinstance(self.command, str) or not self.command:
             raise SchemaError(f"command must be a non-empty string, got {self.command!r}")
         object.__setattr__(self, "results", tuple(self.results))
@@ -1176,6 +1211,7 @@ class CommandPayload:
                 EvaluationResult.from_dict(r) for r in payload.get("results", ())
             ),
             text=str(payload.get("text", "")),
+            schema_version=payload["schema_version"],
         )
 
 
@@ -1208,3 +1244,35 @@ def payload_from_dict(payload):
             f"unknown payload kind {kind!r}; expected one of {sorted(PAYLOAD_KINDS)}"
         )
     return cls.from_dict(payload)
+
+
+def _downgrade_tree(node, version: int):
+    if isinstance(node, dict):
+        rewritten = {}
+        for key, value in node.items():
+            if version < 2 and key == "retry_after_s":
+                continue
+            rewritten[key] = _downgrade_tree(value, version)
+        if "schema_version" in rewritten:
+            rewritten["schema_version"] = version
+        return rewritten
+    if isinstance(node, list):
+        return [_downgrade_tree(item, version) for item in node]
+    return node
+
+
+def downgrade_payload(wire, version: int) -> dict:
+    """Rewrite a ``to_dict`` tree for an older-generation client.
+
+    The serving front door answers a client at the schema version the
+    client spoke: this recursively stamps ``schema_version=version`` on
+    every nested payload mapping and drops keys that generation cannot
+    parse (``retry_after_s`` below version 2), so a strict v1
+    ``from_dict`` accepts the result.  The input tree is not mutated.
+    """
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
+        raise SchemaError(
+            f"cannot downgrade to schema_version {version!r}; supported "
+            f"versions are {sorted(SUPPORTED_SCHEMA_VERSIONS)}"
+        )
+    return _downgrade_tree(_require_mapping(wire, "api"), version)

@@ -102,6 +102,15 @@ class RedService:
         retry_policy: :class:`~repro.reliability.RetryPolicy` the
             runners apply to transient failures (worker crashes,
             I/O errors); ``None`` uses the runners' default.
+        design_runner: the evaluation substrate for analytic metrics —
+            any callable with :func:`~repro.eval.parallel.run_design_jobs`'
+            signature.  The default is ``run_design_jobs`` itself; the
+            serving plane injects a
+            :class:`~repro.serving.runner.ShardedRunner` here so every
+            service path fans out across supervised shard processes
+            without the service tier knowing (daffodil-style layering:
+            the controller swaps the component, the high-level API is
+            unchanged).
     """
 
     def __init__(
@@ -115,6 +124,7 @@ class RedService:
         vectorized: bool = True,
         timeout: float | None = None,
         retry_policy: RetryPolicy | None = None,
+        design_runner=None,
     ) -> None:
         if num_workers < 1:
             raise ParameterError(f"num_workers must be >= 1, got {num_workers}")
@@ -137,25 +147,36 @@ class RedService:
             raise ParameterError(f"timeout must be > 0 seconds, got {timeout!r}")
         self.timeout = timeout
         self.retry_policy = retry_policy
+        self._design_runner = design_runner or run_design_jobs
         self._executor: ThreadPoolExecutor | None = None
         self._closed = False
         self._lock = threading.Lock()
 
-    def _runner_kwargs(self) -> dict:
-        """Substrate keywords every runner call shares."""
+    def _runner_kwargs(self, timeout: float | None = None) -> dict:
+        """Substrate keywords every runner call shares.
+
+        ``timeout`` overrides the service-wide budget for one request —
+        the serving front door propagates each wire deadline here.
+        """
         return {
             "num_workers": self.num_workers,
             "cache": self.cache,
             "vectorized": self.vectorized,
-            "timeout": self.timeout,
+            "timeout": self.timeout if timeout is None else timeout,
             "retry_policy": self.retry_policy,
         }
 
     # ------------------------------------------------------------------
     # Request-level entry points
     # ------------------------------------------------------------------
-    def evaluate(self, request: EvaluationRequest) -> EvaluationResult:
-        """Evaluate one layer across designs (optionally cycle-traced)."""
+    def evaluate(
+        self, request: EvaluationRequest, *, timeout: float | None = None
+    ) -> EvaluationResult:
+        """Evaluate one layer across designs (optionally cycle-traced).
+
+        ``timeout`` overrides the service-wide budget for this request
+        (wire-deadline propagation); ``None`` keeps the service default.
+        """
         if not isinstance(request, EvaluationRequest):
             raise SchemaError(
                 f"evaluate() takes an EvaluationRequest, got {type(request).__name__}"
@@ -167,7 +188,7 @@ class RedService:
             DesignJob(design, spec, tech, fold=request.fold, layer_name=label)
             for design in designs
         ]
-        metrics = run_design_jobs(jobs, **self._runner_kwargs())
+        metrics = self._design_runner(jobs, **self._runner_kwargs(timeout))
         cycle_stats: tuple = ()
         if request.trace:
             cycle_stats = tuple(
@@ -176,7 +197,7 @@ class RedService:
                     cache=self.cache,
                     max_sub_crossbars=self.max_sub_crossbars,
                     dtype=self.cycle_dtype,
-                    timeout=self.timeout,
+                    timeout=self.timeout if timeout is None else timeout,
                     retry_policy=self.retry_policy,
                 )
             )
@@ -187,7 +208,9 @@ class RedService:
             cycle_stats=cycle_stats,
         )
 
-    def fidelity_sweep(self, request: FidelityRequest) -> FidelityResult:
+    def fidelity_sweep(
+        self, request: FidelityRequest, *, timeout: float | None = None
+    ) -> FidelityResult:
         """Monte-Carlo device-fidelity frontier for one layer.
 
         The energy axis comes from the analytic metrics — the same
@@ -207,9 +230,9 @@ class RedService:
         spec, label = self._resolve_layer(request)
         designs = self._resolve_designs(request.designs)
         tech = request.resolved_tech(self.tech)
-        metrics = run_design_jobs(
+        metrics = self._design_runner(
             [DesignJob(design, spec, tech, layer_name=label) for design in designs],
-            **self._runner_kwargs(),
+            **self._runner_kwargs(timeout),
         )
         stats = run_fidelity_jobs(
             [
@@ -233,7 +256,7 @@ class RedService:
                 for time_s in request.times
             ],
             cache=self.cache,
-            timeout=self.timeout,
+            timeout=self.timeout if timeout is None else timeout,
             retry_policy=self.retry_policy,
         )
         return FidelityResult(
@@ -254,7 +277,9 @@ class RedService:
             ),
         )
 
-    def sweep(self, request: SweepRequest) -> SweepResult:
+    def sweep(
+        self, request: SweepRequest, *, timeout: float | None = None
+    ) -> SweepResult:
         """Run the stride-speedup sweep a request describes.
 
         A transient failure (worker crash, I/O fault) in the batched
@@ -279,11 +304,12 @@ class RedService:
                 filters=request.filters,
                 tech=tech,
                 fold=request.fold,
+                timeout=timeout,
             )
         except Exception as exc:
             if not is_retryable(exc):
                 raise
-            points, failures = self._sweep_points_partial(request, tech)
+            points, failures = self._sweep_points_partial(request, tech, timeout)
         exponent = None
         if len([p for p in points if p.stride > 1]) >= 2:
             from repro.eval.sweeps import quadratic_fit_exponent
@@ -294,7 +320,10 @@ class RedService:
         )
 
     def _sweep_points_partial(
-        self, request: SweepRequest, tech: TechnologyParams
+        self,
+        request: SweepRequest,
+        tech: TechnologyParams,
+        timeout: float | None = None,
     ) -> tuple[list[SweepPoint], tuple[ErrorInfo, ...]]:
         """Per-stride salvage pass behind :meth:`sweep`.
 
@@ -315,6 +344,7 @@ class RedService:
                         filters=request.filters,
                         tech=tech,
                         fold=request.fold,
+                        timeout=timeout,
                     )
                 )
             except Exception as exc:
@@ -325,7 +355,9 @@ class RedService:
                 )
         return points, tuple(failures)
 
-    def evaluate_network(self, request: NetworkRequest) -> NetworkResult:
+    def evaluate_network(
+        self, request: NetworkRequest, *, timeout: float | None = None
+    ) -> NetworkResult:
         """Evaluate every deconv layer of a named workload network."""
         if not isinstance(request, NetworkRequest):
             raise SchemaError(
@@ -354,6 +386,7 @@ class RedService:
             request.input_width,
             tech=tech,
             designs=evaluated,
+            timeout=timeout,
         )
         layer_results = tuple(
             EvaluationResult(
@@ -494,7 +527,7 @@ class RedService:
             for layer in layers
             for design in designs
         ]
-        evaluated = run_design_jobs(jobs, **self._runner_kwargs())
+        evaluated = self._design_runner(jobs, **self._runner_kwargs())
         metrics: dict[str, dict[str, object]] = {}
         for job, result in zip(jobs, evaluated):
             metrics.setdefault(job.layer_name, {})[job.design] = result
@@ -508,6 +541,7 @@ class RedService:
         filters: int = 32,
         tech: TechnologyParams | None = None,
         fold: int | str = 1,
+        timeout: float | None = None,
     ) -> list[SweepPoint]:
         """Measure RED's speedup as the stride grows (FCN rule ``K=2s``).
 
@@ -533,7 +567,7 @@ class RedService:
                 DesignJob(traced, spec, tech, fold=fold, layer_name=f"stride{stride}")
             )
             jobs.append(DesignJob(baseline, spec, tech, layer_name=f"stride{stride}"))
-        metrics = run_design_jobs(jobs, **self._runner_kwargs())
+        metrics = self._design_runner(jobs, **self._runner_kwargs(timeout))
         points = []
         for index, stride in enumerate(ordered):
             red_metrics = metrics[2 * index]
@@ -556,6 +590,7 @@ class RedService:
         input_width: int = 1,
         tech: TechnologyParams | None = None,
         designs: tuple[str, ...] | None = None,
+        timeout: float | None = None,
     ):
         """Evaluate every design over every deconv layer of a module tree.
 
@@ -573,7 +608,7 @@ class RedService:
             for design in designs
             for mapped in layers
         ]
-        evaluated = run_design_jobs(jobs, **self._runner_kwargs())
+        evaluated = self._design_runner(jobs, **self._runner_kwargs(timeout))
         metrics: dict[str, dict[str, object]] = {}
         for job, result in zip(jobs, evaluated):
             metrics.setdefault(job.design, {})[job.layer_name] = result

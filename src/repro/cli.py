@@ -19,6 +19,8 @@ Usage::
     python -m repro network SNGAN     # whole-generator evaluation
     python -m repro sweep --jobs 4 --cache ~/.cache/red-sweeps
                                       # stride sweep on the parallel runner
+    python -m repro serve --shards 2  # sharded serving plane (SIGTERM drains)
+    python -m repro ping              # health/readiness probe (exit 0/1/2)
     python -m repro report --json     # any subcommand, machine-readable
 """
 
@@ -200,6 +202,65 @@ def _cmd_sweep(args, service: RedService) -> tuple[str, object]:
     return text, result
 
 
+def _cmd_serve(args) -> int:
+    """Run the sharded serving front door until SIGTERM/SIGINT drains it."""
+    import threading
+
+    from repro.serving.server import ServingServer
+
+    server = ServingServer(
+        host=args.host,
+        port=args.port,
+        num_shards=args.shards,
+        cache_dir=args.cache,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+    )
+
+    def _announce() -> None:
+        if server.ready.wait(30.0):
+            print(
+                f"repro serve: listening on {server.host}:{server.port} "
+                f"({args.shards} shards); SIGTERM drains gracefully",
+                file=sys.stderr,
+            )
+
+    threading.Thread(target=_announce, daemon=True).start()
+    return server.run()
+
+
+def _cmd_ping(args) -> tuple[str, CommandPayload, int]:
+    """Probe ``/healthz`` + ``/readyz``; exit 0 healthy, 1 not ready.
+
+    Unreachable endpoints raise through the standard CLI error boundary
+    (exit 2, ``--json`` gets the :class:`ErrorInfo` envelope).
+    """
+    from repro.serving.client import ServingClient
+
+    with ServingClient(args.host, args.port, timeout=args.timeout) as client:
+        health_status, health = client.healthz()
+        ready_status, ready = client.readyz()
+    ok = health_status == 200 and ready_status == 200
+    text = (
+        f"{args.host}:{args.port} healthz={health_status} "
+        f"readyz={ready_status} status={health.get('status', '?')} "
+        f"shards={health.get('shards', {})}"
+    )
+    payload = CommandPayload(
+        command="ping",
+        data={
+            "host": args.host,
+            "port": args.port,
+            "healthz_status": health_status,
+            "readyz_status": ready_status,
+            "healthz": health,
+            "readyz": ready,
+        },
+        text=text,
+    )
+    return text, payload, 0 if ok else 1
+
+
 def _cmd_network(args, service: RedService) -> tuple[str, object]:
     from repro.utils.formatting import format_seconds, render_ascii_table
 
@@ -221,6 +282,12 @@ def _cmd_network(args, service: RedService) -> tuple[str, object]:
         title=f"{args.name}: whole-network deconvolution evaluation",
     )
     return text, result
+
+
+def _make_service(args) -> RedService:
+    return RedService(
+        num_workers=getattr(args, "jobs", 1), cache=getattr(args, "cache", None)
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -249,8 +316,38 @@ def main(argv: list[str] | None = None) -> int:
     sweep.add_argument(
         "--strides", default="1,2,4,8", help="comma-separated strides"
     )
+    serve = sub.add_parser(
+        "serve", help="run the resilient sharded serving plane"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765, help="0 = ephemeral")
+    serve.add_argument(
+        "--shards", type=int, default=2, help="supervised shard processes"
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=8,
+        help="concurrent requests before queueing",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=32,
+        help="queued requests before deterministic shedding (429)",
+    )
+    serve.add_argument(
+        "--cache", default=None,
+        help="per-shard packed store root (shard-<i> subdirectories)",
+    )
+    ping = sub.add_parser(
+        "ping", help="probe a serving plane: exit 0 ready, 1 degraded, 2 down"
+    )
+    ping.add_argument("--host", default="127.0.0.1")
+    ping.add_argument("--port", type=int, default=8765)
+    ping.add_argument(
+        "--timeout", type=float, default=5.0, help="socket timeout, seconds"
+    )
     subparsers["network"] = network
     subparsers["sweep"] = sweep
+    subparsers["serve"] = serve
+    subparsers["ping"] = ping
     # Every subcommand gets machine-readable output; the evaluation-grid
     # commands additionally accept parallel/cache tuning.
     for name, cmd in subparsers.items():
@@ -274,17 +371,23 @@ def main(argv: list[str] | None = None) -> int:
             )
     args = parser.parse_args(argv)
 
-    service = RedService(
-        num_workers=getattr(args, "jobs", 1), cache=getattr(args, "cache", None)
-    )
+    service = None
+    code = 0
     try:
-        if args.command == "table1":
+        if args.command == "serve":
+            # The serving plane owns its own RedService (wired to the
+            # sharded runner); no eager service here.
+            return _cmd_serve(args)
+        if args.command == "ping":
+            text, payload, code = _cmd_ping(args)
+        elif args.command == "table1":
             text, payload = _cmd_table1()
         elif args.command == "table2":
             text, payload = _cmd_table2()
         elif args.command == "fig4":
             text, payload = _cmd_fig4()
         elif args.command in ("fig7", "fig8", "fig9", "report"):
+            service = _make_service(args)
             text, payload = _cmd_grid_figure(args.command, service)
         elif args.command == "tradeoff":
             text, payload = _cmd_tradeoff()
@@ -293,8 +396,10 @@ def main(argv: list[str] | None = None) -> int:
         elif args.command == "mechanism":
             text, payload = _cmd_mechanism()
         elif args.command == "sweep":
+            service = _make_service(args)
             text, payload = _cmd_sweep(args, service)
         else:  # network
+            service = _make_service(args)
             text, payload = _cmd_network(args, service)
     except ReproError as exc:
         # Error boundary: library failures are user-facing outcomes,
@@ -311,13 +416,14 @@ def main(argv: list[str] | None = None) -> int:
             print(f"repro {args.command}: error: {exc}", file=sys.stderr)
         return 2
     finally:
-        service.close()
+        if service is not None:
+            service.close()
 
     if args.json:
         print(json.dumps(payload.to_dict(), indent=2))
     else:
         print(text)
-    return 0
+    return code
 
 
 if __name__ == "__main__":

@@ -23,9 +23,22 @@ Error                        Handling   Rationale
 ``BrokenProcessPool``                   analogue); the runner respawns the
                                         pool once, then degrades to
                                         in-process scalar execution
+``ShardUnavailableError``    retried    a serving shard is down, mid-restart
+                                        or circuit-broken; the supervisor
+                                        respawns it and the front door
+                                        reroutes its key range to the
+                                        degraded in-process fallback — a
+                                        later attempt can succeed
+``OverloadedError``          retried    the admission queue shed the request
+                                        deterministically; the envelope
+                                        carries a ``retry_after_s`` hint the
+                                        client should honour before resending
 ``EvaluationTimeoutError``   surfaced   the caller's per-batch ``timeout=``
                                         budget is final — retrying cannot
                                         create time
+``DrainingError``            surfaced   the server is shutting down
+                                        gracefully; resend to another
+                                        replica, not to this one
 ``ShapeError`` /             surfaced   invalid input: deterministic, every
 ``ParameterError`` /                    retry fails identically
 ``MappingError`` / ...
@@ -120,3 +133,38 @@ class EvaluationTimeoutError(ReliabilityError, TimeoutError):
 
 class ServiceClosedError(ReliabilityError):
     """A request was submitted to a :class:`RedService` after ``close()``."""
+
+
+class ServingError(ReproError):
+    """Base class for the sharded serving plane's own failures."""
+
+
+class ShardUnavailableError(ServingError):
+    """A serving shard is dead, restarting, or circuit-broken.
+
+    Transient by taxonomy: the shard supervisor respawns crashed
+    workers (respawn-budget, frozen backoff) and the front door
+    reroutes the shard's key range to the degraded in-process fallback
+    while its circuit is open — a retried request can succeed.
+    """
+
+
+class OverloadedError(ServingError):
+    """The admission queue shed a request under deterministic overload.
+
+    Transient with a hint: :attr:`retry_after_s` tells the client how
+    long to back off before resending; the wire
+    :class:`~repro.api.schema.ErrorInfo` envelope carries it.
+    """
+
+    def __init__(self, message: str, retry_after_s: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class DrainingError(ServingError):
+    """The server is draining (SIGTERM): no new work is admitted.
+
+    Permanent for *this* server by taxonomy — retrying against a
+    draining process cannot succeed; send the request elsewhere.
+    """

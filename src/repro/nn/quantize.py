@@ -59,6 +59,11 @@ def symmetric_quant_params(x: np.ndarray, bits: int, signed: bool = True) -> Qua
     peak = float(np.max(np.abs(x))) if x.size else 0.0
     qmax = (1 << (bits - 1)) - 1 if signed else (1 << bits) - 1
     scale = peak / qmax if peak > 0.0 else 1.0
+    if scale == 0.0:
+        # A subnormal peak can underflow the division to exactly zero;
+        # the smallest positive float still bounds the round-trip error
+        # at one step.
+        scale = float(np.finfo(np.float64).smallest_subnormal)
     return QuantParams(scale=scale, zero_point=0, bits=bits, signed=signed)
 
 

@@ -21,8 +21,11 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import (
+    DrainingError,
     EvaluationTimeoutError,
+    OverloadedError,
     ParameterError,
+    ShardUnavailableError,
     WorkerCrashError,
 )
 
@@ -32,20 +35,46 @@ def no_sleep(_delay: float) -> None:
     return None
 
 
-def is_retryable(exc: BaseException) -> bool:
+def is_retryable(exc: BaseException, *, follow_cause: bool = False) -> bool:
     """True for transient failures a retry can plausibly cure.
 
-    Transient: ``OSError`` (real or injected I/O faults) and worker
+    Transient: ``OSError`` (real or injected I/O faults), worker
     crashes (:class:`~repro.errors.WorkerCrashError`,
-    :class:`BrokenProcessPool`).  Permanent:
-    :class:`~repro.errors.EvaluationTimeoutError` (the budget is final)
-    and everything else — invalid input fails identically on every
-    attempt and must surface (see the taxonomy table in
+    :class:`BrokenProcessPool`), unavailable serving shards
+    (:class:`~repro.errors.ShardUnavailableError`) and deterministic
+    load shedding (:class:`~repro.errors.OverloadedError`).  Permanent:
+    :class:`~repro.errors.EvaluationTimeoutError` (the budget is
+    final), :class:`~repro.errors.DrainingError` (this server is going
+    away) and everything else — invalid input fails identically on
+    every attempt and must surface (see the taxonomy table in
     :mod:`repro.errors`).
+
+    ``follow_cause=True`` additionally classifies a permanent-looking
+    wrapper by its direct ``__cause__``: the service tier re-raises
+    transient pool/store failures wrapped in richer types
+    (``raise X from BrokenProcessPool``), and the wire envelope and the
+    serving circuit breaker must not lose the transient bit in that
+    wrapping.  Exactly one level is followed, and the
+    explicitly-permanent classifications above (timeout, draining)
+    never flip — their budgets are final regardless of what caused
+    them.
     """
-    if isinstance(exc, EvaluationTimeoutError):
+    if isinstance(exc, (EvaluationTimeoutError, DrainingError)):
         return False
-    return isinstance(exc, (OSError, WorkerCrashError, BrokenProcessPool))
+    if isinstance(
+        exc,
+        (
+            OSError,
+            WorkerCrashError,
+            BrokenProcessPool,
+            ShardUnavailableError,
+            OverloadedError,
+        ),
+    ):
+        return True
+    if follow_cause and exc.__cause__ is not None:
+        return is_retryable(exc.__cause__)
+    return False
 
 
 @dataclass(frozen=True)

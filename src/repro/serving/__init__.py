@@ -1,0 +1,55 @@
+"""The resilient sharded serving plane (see README.md in this package).
+
+Composition, bottom up:
+
+* :mod:`~repro.serving.ring` — consistent-hash routing of
+  :func:`~repro.eval.parallel.job_keys` ranges to shards;
+* :mod:`~repro.serving.shard` / :mod:`~repro.serving.supervisor` —
+  supervised worker processes with respawn-budget-then-degrade;
+* :mod:`~repro.serving.breaker` — per-shard circuit breaking over the
+  transient/permanent taxonomy;
+* :mod:`~repro.serving.runner` — the ``run_design_jobs``-shaped
+  scatter/gather substrate injected into
+  :class:`~repro.api.service.RedService`;
+* :mod:`~repro.serving.admission` — bounded admission with
+  deterministic load shedding and the drain latch;
+* :mod:`~repro.serving.server` / :mod:`~repro.serving.client` — the
+  asyncio HTTP/JSON front door and its blocking client.
+
+Unlike the deterministic evaluation packages (RED006), this package may
+touch the clock — but only through injectable seams (breaker ``clock``,
+supervisor ``sleeper``), and never with blocking calls inside ``async``
+bodies (RED008).
+"""
+
+from repro.serving.admission import AdmissionGate
+from repro.serving.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.serving.client import ServingCallError, ServingClient
+from repro.serving.ring import HashRing
+from repro.serving.runner import ShardedRunner
+from repro.serving.server import ServingServer
+from repro.serving.supervisor import (
+    DEGRADED,
+    RESTARTING,
+    RUNNING,
+    STOPPED,
+    ShardSupervisor,
+)
+
+__all__ = [
+    "AdmissionGate",
+    "CLOSED",
+    "CircuitBreaker",
+    "DEGRADED",
+    "HALF_OPEN",
+    "HashRing",
+    "OPEN",
+    "RESTARTING",
+    "RUNNING",
+    "STOPPED",
+    "ServingCallError",
+    "ServingClient",
+    "ServingServer",
+    "ShardSupervisor",
+    "ShardedRunner",
+]

@@ -1,0 +1,132 @@
+"""Bounded admission: deterministic load shedding and drain.
+
+The gate is the server's first line of defence: every request must
+acquire a slot before any work happens.  Capacity is two-tier —
+``max_inflight`` requests execute concurrently and up to ``max_queue``
+more may wait behind them (the dispatch executor is sized to
+``max_inflight``, so "waiting" is literal queueing there).  Beyond
+that the gate sheds deterministically: the same occupancy always
+produces the same :class:`~repro.errors.OverloadedError`, whose
+``retry_after_s`` hint scales linearly with the backlog so clients
+back off harder the deeper the overload.
+
+Draining flips one latch: new admissions fail fast with
+:class:`~repro.errors.DrainingError` (permanent — resend elsewhere)
+while already-admitted requests keep their slots until they release
+them; :meth:`AdmissionGate.wait_idle` is the drain barrier.
+
+Thread-safe — the asyncio front door admits from the event loop while
+executor threads release, and tests drive it from many threads at once.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import DrainingError, OverloadedError, ParameterError
+
+
+class AdmissionGate:
+    """Counted two-tier admission with a drain latch.
+
+    Args:
+        max_inflight: concurrently executing requests (>= 1).
+        max_queue: extra admitted-but-queued requests beyond
+            ``max_inflight`` (>= 0).
+        retry_after_base_s: backoff hint unit; a shed request is told
+            to wait ``base * (queued_over_capacity + 1)`` seconds.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int = 8,
+        max_queue: int = 32,
+        retry_after_base_s: float = 0.05,
+    ) -> None:
+        if max_inflight < 1:
+            raise ParameterError(f"max_inflight must be >= 1, got {max_inflight}")
+        if max_queue < 0:
+            raise ParameterError(f"max_queue must be >= 0, got {max_queue}")
+        if not retry_after_base_s > 0:
+            raise ParameterError(
+                f"retry_after_base_s must be > 0, got {retry_after_base_s!r}"
+            )
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.retry_after_base_s = retry_after_base_s
+        self._admitted = 0
+        self.shed_total = 0
+        self.admitted_total = 0
+        self._draining = False
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+
+    @property
+    def capacity(self) -> int:
+        """Total admitted requests the gate tolerates at once."""
+        return self.max_inflight + self.max_queue
+
+    @property
+    def inflight(self) -> int:
+        """Currently admitted (executing + queued) requests."""
+        with self._lock:
+            return self._admitted
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def admit(self) -> None:
+        """Take a slot or raise; pair every success with :meth:`release`.
+
+        Raises:
+            DrainingError: the server is shutting down — permanent.
+            OverloadedError: the queue is full — retryable, with a
+                ``retry_after_s`` hint proportional to the backlog.
+        """
+        with self._lock:
+            if self._draining:
+                raise DrainingError(
+                    "server is draining; no new work is admitted"
+                )
+            if self._admitted >= self.capacity:
+                self.shed_total += 1
+                backlog = self._admitted - self.max_inflight + 1
+                raise OverloadedError(
+                    f"admission queue full ({self._admitted} in flight, "
+                    f"capacity {self.capacity})",
+                    retry_after_s=self.retry_after_base_s * backlog,
+                )
+            self._admitted += 1
+            self.admitted_total += 1
+
+    def release(self) -> None:
+        """Return a slot taken by :meth:`admit`."""
+        with self._idle:
+            if self._admitted <= 0:
+                raise ParameterError("release() without a matching admit()")
+            self._admitted -= 1
+            if self._admitted == 0:
+                self._idle.notify_all()
+
+    def begin_drain(self) -> None:
+        """Flip the drain latch: every future :meth:`admit` fails fast."""
+        with self._lock:
+            self._draining = True
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until every admitted request released (the drain barrier).
+
+        Returns ``False`` if ``timeout`` elapsed with work still in
+        flight.
+        """
+        with self._idle:
+            return self._idle.wait_for(lambda: self._admitted == 0, timeout)
+
+    def __enter__(self) -> "AdmissionGate":
+        self.admit()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()

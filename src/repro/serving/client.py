@@ -1,0 +1,180 @@
+"""Blocking HTTP client for the serving plane (CLI, tests, benchmarks).
+
+A thin :mod:`http.client` wrapper that speaks the same schema layer as
+the server: requests go up as ``to_dict`` JSON, responses come back
+through :func:`~repro.api.schema.payload_from_dict`, and failures are
+:class:`~repro.api.schema.ErrorInfo` envelopes the caller can classify
+with the standard taxonomy (``retryable``/``retry_after_s``).
+
+:meth:`ServingClient.call_with_retry` is the canonical client loop:
+retryable envelopes are retried under a
+:class:`~repro.reliability.policy.RetryPolicy`, honouring the server's
+``retry_after_s`` hint when it is larger than the policy's own backoff,
+and the ``X-Red-Attempt`` header is bumped on every resend so the
+server's failpoint draws re-roll deterministically.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+from repro.api.schema import SCHEMA_VERSION, ErrorInfo, payload_from_dict
+from repro.errors import ReproError, ShardUnavailableError
+from repro.reliability.policy import NO_SLEEP_POLICY, RetryPolicy
+
+
+class ServingCallError(ReproError):
+    """A server-side failure, rehydrated client-side.
+
+    Carries the wire :class:`~repro.api.schema.ErrorInfo` (``info``)
+    and the HTTP status so callers keep the full classification.
+    """
+
+    def __init__(self, status: int, info: ErrorInfo) -> None:
+        super().__init__(
+            f"server answered {status}: {info.error_type}: {info.message}"
+        )
+        self.status = status
+        self.info = info
+        self.retry_after_s = info.retry_after_s
+
+
+class ServingClient:
+    """One keep-alive connection to a :class:`ServingServer`.
+
+    Args:
+        host / port: the server's bound address.
+        timeout: socket timeout per HTTP exchange, seconds.
+        schema_version: the generation this client speaks.  A v1 client
+            (``schema_version=1``) advertises v1 payloads and the server
+            downgrades its responses accordingly — the negotiation the
+            acceptance tests drive.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        schema_version: int = SCHEMA_VERSION,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.schema_version = schema_version
+        self._conn: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------------
+    # Raw HTTP
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def _exchange(self, method: str, path: str, body=None, headers=None):
+        """One request/response; returns ``(status, parsed_json)``."""
+        conn = self._connection()
+        try:
+            conn.request(method, path, body=body, headers=headers or {})
+            response = conn.getresponse()
+            payload = json.loads(response.read().decode("utf-8"))
+            return response.status, payload
+        except (OSError, http.client.HTTPException, ValueError) as exc:
+            # The connection is poisoned (half-read response, refused
+            # socket): drop it so the next try dials fresh.
+            self.close()
+            raise ShardUnavailableError(
+                f"serving endpoint {self.host}:{self.port} unreachable: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Health endpoints
+    # ------------------------------------------------------------------
+    def healthz(self):
+        """``(status, body)`` of ``GET /healthz``."""
+        return self._exchange("GET", "/healthz")
+
+    def readyz(self):
+        """``(status, body)`` of ``GET /readyz``."""
+        return self._exchange("GET", "/readyz")
+
+    # ------------------------------------------------------------------
+    # Evaluation route
+    # ------------------------------------------------------------------
+    def call(self, request, timeout_s: float | None = None, attempt: int = 0):
+        """POST one schema request payload; return the parsed result.
+
+        Raises :class:`ServingCallError` carrying the wire
+        :class:`~repro.api.schema.ErrorInfo` on any non-200 answer.
+        """
+        wire = request.to_dict() if hasattr(request, "to_dict") else dict(request)
+        if self.schema_version != SCHEMA_VERSION:
+            from repro.api.schema import downgrade_payload
+
+            wire = downgrade_payload(wire, self.schema_version)
+        headers = {
+            "Content-Type": "application/json",
+            "X-Red-Attempt": str(attempt),
+        }
+        if timeout_s is not None:
+            headers["X-Red-Timeout-S"] = repr(float(timeout_s))
+        status, payload = self._exchange(
+            "POST", "/v1/payload", body=json.dumps(wire), headers=headers
+        )
+        parsed = payload_from_dict(payload)
+        if status != 200 or isinstance(parsed, ErrorInfo):
+            if not isinstance(parsed, ErrorInfo):
+                parsed = ErrorInfo(
+                    error_type="SchemaError",
+                    message=f"non-error payload on HTTP {status}",
+                    source="serving.client",
+                )
+            raise ServingCallError(status, parsed)
+        return parsed
+
+    def call_with_retry(
+        self,
+        request,
+        timeout_s: float | None = None,
+        retry_policy: RetryPolicy = NO_SLEEP_POLICY,
+    ):
+        """The canonical client loop: resend retryable envelopes.
+
+        Each resend bumps ``X-Red-Attempt`` (fresh failpoint draws
+        server-side) and sleeps the larger of the policy backoff and
+        the server's ``retry_after_s`` hint.  Permanent envelopes and
+        exhausted budgets raise :class:`ServingCallError`.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self.call(request, timeout_s=timeout_s, attempt=attempt)
+            except ServingCallError as exc:
+                retryable = exc.info.retryable
+                if not retryable or attempt + 1 >= retry_policy.max_attempts:
+                    raise
+                delay = retry_policy.delay_for(attempt + 1)
+                if exc.retry_after_s is not None:
+                    delay = max(delay, exc.retry_after_s)
+                retry_policy.sleeper(delay)
+            except ShardUnavailableError:
+                if attempt + 1 >= retry_policy.max_attempts:
+                    raise
+                retry_policy.sleeper(retry_policy.delay_for(attempt + 1))
+            attempt += 1

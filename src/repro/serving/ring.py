@@ -1,0 +1,74 @@
+"""Consistent-hash ring: stable job-key -> shard routing.
+
+The front door shards a :class:`~repro.eval.parallel.DesignJob` work
+list by its cache keys (:func:`~repro.eval.parallel.job_keys`), so the
+same (design, spec, tech, fold) always lands on the same shard and that
+shard's :class:`~repro.eval.store.PackedSweepStore` stays hot for its
+key range.  Consistent hashing keeps the mapping stable as shards come
+and go: removing one shard moves only that shard's keys, everyone
+else's working set is untouched.
+
+Pure and deterministic — no clock, no RNG (RED006-grade even though
+``repro.serving`` is outside the deterministic-lint scope).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from repro.errors import ParameterError
+
+
+def _ring_position(label: str) -> int:
+    """A stable 64-bit ring coordinate for a label."""
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent hashing of string keys onto shard ids.
+
+    Args:
+        shard_ids: the shards to place on the ring (non-empty, unique).
+        replicas: virtual nodes per shard — more replicas, smoother
+            key balance (128 keeps the worst shard within a few percent
+            of fair share for realistic sweep work lists).
+    """
+
+    def __init__(self, shard_ids, replicas: int = 128) -> None:
+        shard_ids = tuple(shard_ids)
+        if not shard_ids:
+            raise ParameterError("HashRing needs at least one shard id")
+        if len(set(shard_ids)) != len(shard_ids):
+            raise ParameterError(f"duplicate shard ids: {shard_ids!r}")
+        if replicas < 1:
+            raise ParameterError(f"replicas must be >= 1, got {replicas}")
+        self.shard_ids = shard_ids
+        self.replicas = replicas
+        points = []
+        for shard_id in shard_ids:
+            for replica in range(replicas):
+                points.append((_ring_position(f"{shard_id}#{replica}"), shard_id))
+        points.sort()
+        self._positions = [position for position, _ in points]
+        self._owners = [shard_id for _, shard_id in points]
+
+    def shard_for(self, key: str) -> int:
+        """The shard owning ``key`` (first ring point at/after its hash)."""
+        position = _ring_position(key)
+        index = bisect.bisect_left(self._positions, position)
+        if index == len(self._positions):
+            index = 0
+        return self._owners[index]
+
+    def partition(self, keys) -> dict:
+        """Split a key list by owner: ``{shard_id: [key index, ...]}``.
+
+        Returns index lists (not the keys) so callers can scatter and
+        re-merge positional work lists without copying jobs around.
+        """
+        parts: dict = {}
+        for index, key in enumerate(keys):
+            parts.setdefault(self.shard_for(key), []).append(index)
+        return parts

@@ -1,0 +1,51 @@
+"""Embedded server harness for tests and benchmarks.
+
+:class:`ServerThread` runs a full :class:`~repro.serving.server.ServingServer`
+— real shard processes, real sockets — on a background thread, waits
+for the listening socket, and drains it on exit.  The drain path it
+exercises is byte-for-byte the SIGTERM path (``run()`` with the signal
+handlers swapped for :meth:`~repro.serving.server.ServingServer.request_drain`).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import ShardUnavailableError
+from repro.serving.client import ServingClient
+from repro.serving.server import ServingServer
+
+
+class ServerThread:
+    """Context manager: a live serving plane on a daemon thread."""
+
+    def __init__(self, ready_timeout_s: float = 30.0, **server_kwargs) -> None:
+        self.server = ServingServer(**server_kwargs)
+        self.ready_timeout_s = ready_timeout_s
+        self.exit_code: int | None = None
+        self._thread = threading.Thread(
+            target=self._main, name="red-serving", daemon=True
+        )
+
+    def _main(self) -> None:
+        self.exit_code = self.server.run(install_signals=False)
+
+    def __enter__(self) -> "ServerThread":
+        self._thread.start()
+        if not self.server.ready.wait(self.ready_timeout_s):
+            raise ShardUnavailableError(
+                f"embedded server failed to bind within {self.ready_timeout_s}s"
+            )
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.server.request_drain()
+        self._thread.join(timeout=self.ready_timeout_s)
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def client(self, **kwargs) -> ServingClient:
+        """A fresh client dialled at the embedded server."""
+        return ServingClient(self.server.host, self.port, **kwargs)

@@ -546,3 +546,89 @@ class TestSwallowRule:
             },
         )
         assert report.findings == []
+
+
+class TestBlockingAsyncRule:
+    def test_time_sleep_in_coroutine_flagged(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            {
+                "src/repro/serving/mod.py": """\
+                import time
+
+                async def handle(request):
+                    time.sleep(0.1)
+                    return request
+                """
+            },
+        )
+        assert rules_hit(report) == {"RED008"}
+        assert "time.sleep" in report.findings[0].message
+
+    def test_sync_io_builtins_flagged(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            {
+                "src/repro/serving/mod.py": """\
+                import subprocess
+
+                async def handle(path):
+                    with open(path) as fh:
+                        data = fh.read()
+                    subprocess.run(["true"])
+                    return data
+                """
+            },
+        )
+        assert rules_hit(report) == {"RED008"}
+        assert len(report.findings) == 2
+
+    def test_executor_dispatch_and_sync_def_clean(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            {
+                "src/repro/serving/mod.py": """\
+                import asyncio
+                import time
+
+                def blocking_probe():
+                    time.sleep(0.1)  # runs on the pool, not the loop
+
+                async def handle(loop):
+                    await asyncio.sleep(0)
+                    return await loop.run_in_executor(None, blocking_probe)
+                """
+            },
+        )
+        assert report.findings == []
+
+    def test_nested_def_inside_coroutine_clean(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            {
+                "src/repro/serving/mod.py": """\
+                async def handle(loop):
+                    def probe():
+                        import time
+
+                        time.sleep(0.1)
+
+                    return await loop.run_in_executor(None, probe)
+                """
+            },
+        )
+        assert report.findings == []
+
+    def test_benchmarks_out_of_scope(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            {
+                "benchmarks/bench_async.py": """\
+                import time
+
+                async def drive():
+                    time.sleep(0.1)
+                """
+            },
+        )
+        assert report.findings == []

@@ -520,3 +520,100 @@ class TestErrorInfo:
         info = ErrorInfo.from_exception(OSError("boom"), source="cli")
         wire = json.loads(json.dumps(info.to_dict()))
         assert payload_from_dict(wire) == info
+
+
+class TestSchemaV2:
+    """Version negotiation: v1 payloads round-trip, v2 fields downgrade."""
+
+    def test_v1_payload_round_trips_as_v1(self):
+        wire = SweepRequest(strides=(1, 2)).to_dict()
+        wire["schema_version"] = 1
+        parsed = payload_from_dict(wire)
+        assert parsed.schema_version == 1
+        assert parsed.to_dict()["schema_version"] == 1
+
+    def test_unsupported_version_names_the_supported_set(self):
+        wire = SweepRequest(strides=(1, 2)).to_dict()
+        wire["schema_version"] = 99
+        with pytest.raises(SchemaError, match=r"\[1, 2\]"):
+            payload_from_dict(wire)
+
+    def test_retry_after_s_requires_v2(self):
+        with pytest.raises(SchemaError, match="retry_after_s"):
+            ErrorInfo(
+                error_type="OverloadedError",
+                message="busy",
+                retryable=True,
+                retry_after_s=0.5,
+                schema_version=1,
+            )
+
+    def test_retry_after_s_must_be_positive(self):
+        with pytest.raises(SchemaError, match="retry_after_s"):
+            ErrorInfo(
+                error_type="OverloadedError",
+                message="busy",
+                retry_after_s=0.0,
+            )
+
+    def test_retry_after_s_round_trips_and_omits_when_unset(self):
+        info = ErrorInfo(
+            error_type="OverloadedError",
+            message="busy",
+            retryable=True,
+            retry_after_s=0.25,
+        )
+        wire = json.loads(json.dumps(info.to_dict()))
+        assert wire["retry_after_s"] == 0.25
+        assert payload_from_dict(wire) == info
+        bare = ErrorInfo(error_type="OSError", message="x").to_dict()
+        assert "retry_after_s" not in bare
+
+    def test_from_exception_carries_retry_hint(self):
+        from repro.errors import OverloadedError
+
+        info = ErrorInfo.from_exception(
+            OverloadedError("queue full", retry_after_s=0.2)
+        )
+        assert info.retryable
+        assert info.retry_after_s == 0.2
+
+    def test_from_exception_follows_one_cause_level(self):
+        from repro.errors import ReproError
+
+        try:
+            try:
+                raise OSError("disk")
+            except OSError as inner:
+                raise ReproError("wrapped") from inner
+        except ReproError as exc:
+            info = ErrorInfo.from_exception(exc)
+        assert info.error_type == "ReproError"
+        assert info.retryable  # retryability preserved through __cause__
+
+    def test_downgrade_strips_v2_fields_recursively(self):
+        from repro.api.schema import downgrade_payload
+
+        result = SweepResult(
+            points=(),
+            failures=(
+                ErrorInfo(
+                    error_type="OverloadedError",
+                    message="busy",
+                    retryable=True,
+                    retry_after_s=0.5,
+                ),
+            ),
+        )
+        wire = downgrade_payload(result.to_dict(), 1)
+        assert wire["schema_version"] == 1
+        assert wire["failures"][0]["schema_version"] == 1
+        assert "retry_after_s" not in wire["failures"][0]
+        parsed = payload_from_dict(wire)
+        assert parsed.schema_version == 1
+
+    def test_downgrade_to_unsupported_version_rejected(self):
+        from repro.api.schema import downgrade_payload
+
+        with pytest.raises(SchemaError):
+            downgrade_payload(SweepRequest(strides=(2,)).to_dict(), 0)

@@ -1,0 +1,85 @@
+"""Admission gate: two-tier capacity, deterministic shedding, drain latch."""
+
+import threading
+
+import pytest
+
+from repro.errors import DrainingError, OverloadedError, ParameterError
+from repro.serving.admission import AdmissionGate
+
+
+class TestAdmission:
+    def test_admits_up_to_capacity_then_sheds(self):
+        gate = AdmissionGate(max_inflight=2, max_queue=1)
+        for _ in range(3):
+            gate.admit()
+        with pytest.raises(OverloadedError):
+            gate.admit()
+        assert gate.inflight == 3
+        assert gate.admitted_total == 3
+        assert gate.shed_total == 1
+
+    def test_retry_after_scales_with_backlog(self):
+        gate = AdmissionGate(max_inflight=1, max_queue=2, retry_after_base_s=0.1)
+        for _ in range(3):
+            gate.admit()
+        with pytest.raises(OverloadedError) as caught:
+            gate.admit()
+        # backlog = admitted - max_inflight + 1 = 3; hint = 0.1 * 3.
+        assert caught.value.retry_after_s == pytest.approx(0.3)
+
+    def test_shedding_is_deterministic(self):
+        gate = AdmissionGate(max_inflight=1, max_queue=0, retry_after_base_s=0.05)
+        gate.admit()
+        hints = []
+        for _ in range(3):
+            with pytest.raises(OverloadedError) as caught:
+                gate.admit()
+            hints.append(caught.value.retry_after_s)
+        assert hints == [hints[0]] * 3
+
+    def test_release_reopens_slots(self):
+        gate = AdmissionGate(max_inflight=1, max_queue=0)
+        gate.admit()
+        with pytest.raises(OverloadedError):
+            gate.admit()
+        gate.release()
+        gate.admit()  # slot came back
+
+    def test_drain_latch_fails_fast_but_keeps_inflight(self):
+        gate = AdmissionGate(max_inflight=2, max_queue=0)
+        gate.admit()
+        gate.begin_drain()
+        with pytest.raises(DrainingError):
+            gate.admit()
+        assert gate.draining
+        assert gate.inflight == 1  # the admitted request keeps its slot
+        gate.release()
+
+    def test_wait_idle_is_the_drain_barrier(self):
+        gate = AdmissionGate(max_inflight=1, max_queue=0)
+        gate.admit()
+        assert not gate.wait_idle(timeout=0.01)
+        released = threading.Thread(target=gate.release)
+        released.start()
+        assert gate.wait_idle(timeout=5.0)
+        released.join()
+
+    def test_unbalanced_release_rejected(self):
+        gate = AdmissionGate()
+        with pytest.raises(ParameterError, match="release"):
+            gate.release()
+
+    def test_context_manager_pairs_admit_release(self):
+        gate = AdmissionGate(max_inflight=1, max_queue=0)
+        with gate:
+            assert gate.inflight == 1
+        assert gate.inflight == 0
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ParameterError):
+            AdmissionGate(max_inflight=0)
+        with pytest.raises(ParameterError):
+            AdmissionGate(max_queue=-1)
+        with pytest.raises(ParameterError):
+            AdmissionGate(retry_after_base_s=0.0)

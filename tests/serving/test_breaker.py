@@ -1,0 +1,77 @@
+"""Circuit breaker: closed -> open -> half-open -> probe, no wall clock."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.serving.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_transient_failures(self, clock):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_s=1.0, clock=clock)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.opened_total == 1
+
+    def test_success_resets_the_consecutive_count(self, clock):
+        breaker = CircuitBreaker(failure_threshold=2, clock=clock)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # never two in a row
+
+    def test_half_open_allows_exactly_one_probe(self, clock):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=1.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()       # the probe
+        assert not breaker.allow()   # everyone behind it waits
+
+    def test_probe_success_closes(self, clock):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_for_another_cooldown(self, clock):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.opened_total == 2
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.allow()  # next probe after the fresh cooldown
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ParameterError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ParameterError):
+            CircuitBreaker(cooldown_s=0.0)

@@ -1,0 +1,53 @@
+"""Consistent-hash ring: determinism, coverage, minimal disruption."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.serving.ring import HashRing
+
+KEYS = [f"design/{design}/stride={stride}" for design in ("RED", "ZP") for stride in range(64)]
+
+
+class TestHashRing:
+    def test_routing_is_deterministic_across_instances(self):
+        a = HashRing((0, 1, 2))
+        b = HashRing((0, 1, 2))
+        assert [a.shard_for(k) for k in KEYS] == [b.shard_for(k) for k in KEYS]
+
+    def test_partition_covers_every_index_exactly_once(self):
+        ring = HashRing((0, 1))
+        parts = ring.partition(KEYS)
+        flat = sorted(i for indices in parts.values() for i in indices)
+        assert flat == list(range(len(KEYS)))
+
+    def test_every_shard_gets_work_on_realistic_lists(self):
+        ring = HashRing((0, 1, 2))
+        parts = ring.partition(KEYS)
+        assert set(parts) == {0, 1, 2}
+
+    def test_removing_a_shard_only_moves_its_keys(self):
+        big = HashRing((0, 1, 2))
+        small = HashRing((0, 1))
+        for key in KEYS:
+            owner = big.shard_for(key)
+            if owner != 2:
+                # Keys not owned by the removed shard stay put.
+                assert small.shard_for(key) == owner
+
+    def test_partition_indices_follow_shard_for(self):
+        ring = HashRing((0, 1))
+        parts = ring.partition(KEYS)
+        for shard_id, indices in parts.items():
+            assert all(ring.shard_for(KEYS[i]) == shard_id for i in indices)
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ParameterError, match="at least one"):
+            HashRing(())
+
+    def test_duplicate_shards_rejected(self):
+        with pytest.raises(ParameterError, match="duplicate"):
+            HashRing((0, 0))
+
+    def test_bad_replica_count_rejected(self):
+        with pytest.raises(ParameterError, match="replicas"):
+            HashRing((0,), replicas=0)
